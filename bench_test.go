@@ -1,0 +1,204 @@
+package sttllc
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its artifact end-to-end (simulator runs included) at
+// a reduced scale so `go test -bench=.` finishes in minutes; run the
+// cmd/sttexp tool for full-scale numbers.
+
+import (
+	"testing"
+
+	"sttllc/internal/config"
+	"sttllc/internal/experiments"
+	"sttllc/internal/sim"
+	"sttllc/internal/sttram"
+	"sttllc/internal/workloads"
+)
+
+// benchParams keeps per-iteration work small: three representative
+// benchmarks (one per interesting region), short warps.
+func benchParams(benchmarks ...string) experiments.Params {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"hotspot", "lud", "nw"}
+	}
+	return experiments.Params{Scale: 0.05, WarpsPerSM: 6, Benchmarks: benchmarks}
+}
+
+func BenchmarkTable1DeviceModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sttram.Table1(256)
+		if len(rows) != 3 {
+			b.Fatal("Table 1 incomplete")
+		}
+		_ = sttram.FormatTable1(256)
+	}
+}
+
+func BenchmarkTable2Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := config.Table2()
+		if len(rows) != 5 {
+			b.Fatal("Table 2 incomplete")
+		}
+		_ = config.FormatTable2()
+	}
+}
+
+func BenchmarkFig3WriteCOV(b *testing.B) {
+	p := benchParams("bfs", "stencil")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3(p)
+		if len(rows) != 2 {
+			b.Fatal("Fig 3 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig4ThresholdSweep(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4(p, nil)
+		if len(rows) != len(experiments.Fig4Thresholds) {
+			b.Fatal("Fig 4 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig5Associativity(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(p, nil)
+		if len(rows) != len(experiments.Fig5Ways) {
+			b.Fatal("Fig 5 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig6RewriteIntervals(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(p)
+		if len(rows) != 1 || rows[0].Samples == 0 {
+			b.Fatal("Fig 6 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig8aSpeedup(b *testing.B) {
+	p := benchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(p)
+		if res.GmeanSpeedup["C1"] <= 0 {
+			b.Fatal("Fig 8a incomplete")
+		}
+	}
+}
+
+func BenchmarkFig8bDynamicPower(b *testing.B) {
+	p := benchParams("stencil")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(p)
+		if res.MeanDynPower["baseline-STT"] <= 0 {
+			b.Fatal("Fig 8b incomplete")
+		}
+	}
+}
+
+func BenchmarkFig8cTotalPower(b *testing.B) {
+	p := benchParams("mum")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(p)
+		if res.MeanTotalPower["C1"] <= 0 {
+			b.Fatal("Fig 8c incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationVariants(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Ablation(p, nil)
+		if len(rows) != len(experiments.AblationVariants) {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkPowerBreakdown(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.PowerBreakdown(p, "C1")
+		if len(rows) != 1 {
+			b.Fatal("power breakdown incomplete")
+		}
+	}
+}
+
+func BenchmarkRetentionSweep(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RetentionSweep(p, nil)
+		if len(rows) != len(experiments.RetentionPoints) {
+			b.Fatal("retention sweep incomplete")
+		}
+	}
+}
+
+func BenchmarkLRSizeSweep(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.LRSizeSweep(p)
+		if len(rows) != 3 {
+			b.Fatal("LR size sweep incomplete")
+		}
+	}
+}
+
+func BenchmarkReliabilityAnalysis(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Reliability(p)
+		if len(rows) != 1 {
+			b.Fatal("reliability incomplete")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// warp instructions per wall-clock second) on the C1 configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, _ := workloads.ByName("bfs")
+	spec = spec.Scale(0.05)
+	spec.WarpsPerSM = 6
+	cfg := config.C1()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		r := sim.RunOne(cfg, spec, sim.Options{})
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+func BenchmarkWearLeveling(b *testing.B) {
+	p := benchParams("bfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.WearLeveling(p)
+		if len(rows) != 1 {
+			b.Fatal("wear leveling incomplete")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command sttcacti prints the device and array models — the repo's
+// stand-in for the paper's modified CACTI 6.5: the Table 1 retention
+// design points, cell-level timing/energy/leakage, the iso-area
+// accounting, and each configuration's bank geometry and static power.
+//
+// Usage:
+//
+//	sttcacti            # everything
+//	sttcacti -retention 5ms   # evaluate one custom retention point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sttllc/internal/arraymodel"
+	"sttllc/internal/config"
+	"sttllc/internal/sttram"
+)
+
+func main() {
+	retention := flag.Duration("retention", 0, "show one custom retention design point (e.g. 5ms)")
+	flag.Parse()
+
+	if *retention > 0 {
+		c := sttram.NewCell("custom", *retention)
+		fmt.Printf("retention %v -> Δ=%.2f\n", c.Retention, c.Delta)
+		fmt.Printf("  write: %v, %.3f nJ per 256B block\n", c.WriteLatency, c.EnergyPerBlock(256, true)*1e9)
+		fmt.Printf("  read:  %v, %.3f nJ per 256B block\n", c.ReadLatency, c.EnergyPerBlock(256, false)*1e9)
+		fmt.Printf("  needs refresh: %v\n", c.NeedsRefresh)
+		if c.NeedsRefresh {
+			bits := sttram.CounterBits(c.Retention, c.Retention/16)
+			fmt.Printf("  retention counter: %d bits at tick %v\n", bits, sttram.TickPeriod(c.Retention, bits))
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "sttcacti: unexpected arguments")
+		os.Exit(2)
+	}
+
+	fmt.Println("== Table 1: STT-RAM retention design points (256B block) ==")
+	fmt.Print(sttram.FormatTable1(256))
+
+	fmt.Println("\n== Cells ==")
+	cells := []sttram.Cell{sttram.SRAMCell(), sttram.ArchivalCell(), sttram.HRCell(), sttram.LRCell()}
+	fmt.Printf("%-10s %10s %10s %12s %12s %12s\n", "Cell", "Read", "Write", "RdE(nJ/blk)", "WrE(nJ/blk)", "Leak(mW/KB)")
+	for _, c := range cells {
+		fmt.Printf("%-10s %10v %10v %12.3f %12.3f %12.3f\n",
+			c.Name, c.ReadLatency, c.WriteLatency,
+			c.EnergyPerBlock(256, false)*1e9, c.EnergyPerBlock(256, true)*1e9,
+			c.LeakagePerKB*1e3)
+	}
+
+	fmt.Println("\n== Retention failure probabilities (LR cell, 1ms retention) ==")
+	for _, t := range []time.Duration{10 * time.Microsecond, 100 * time.Microsecond, 500 * time.Microsecond, time.Millisecond} {
+		fmt.Printf("  after %8v: %.4f\n", t, sttram.FailureProb(t, sttram.RetentionLR))
+	}
+
+	fmt.Println("\n== Iso-area accounting (40nm) ==")
+	fmt.Printf("  STT/SRAM density ratio: %.1fx (SRAM %.0fF², STT %.1fF²)\n",
+		arraymodel.DensityRatio(), arraymodel.SRAMCellF2, arraymodel.STTCellF2)
+	fmt.Printf("  384KB SRAM array:  %7.3f mm²\n", arraymodel.DataArrayAreaMM2(384<<10, arraymodel.SRAM))
+	fmt.Printf("  1536KB STT array:  %7.3f mm²\n", arraymodel.DataArrayAreaMM2(1536<<10, arraymodel.STTRAM))
+	fmt.Printf("  C2 register bonus: %d regs/SM\n", config.RegisterBonusPerSM(config.BaseL2Bytes))
+	fmt.Printf("  C3 register bonus: %d regs/SM\n", config.RegisterBonusPerSM(2*config.BaseL2Bytes))
+
+	fmt.Println("\n== Configurations: L2 static power and die-area accounting ==")
+	fmt.Printf("%-14s %10s %12s %14s\n", "Config", "Regs/SM", "Leak(W)", "Total(mm²)")
+	for _, g := range config.All() {
+		var leak float64
+		for i := 0; i < g.NumBanks; i++ {
+			leak += g.NewBank(g.NewDRAM()).LeakageWatts()
+		}
+		tech := arraymodel.STTRAM
+		if g.L2.Kind == config.L2SRAM {
+			tech = arraymodel.SRAM
+		}
+		geom := arraymodel.Geometry{CapacityBytes: g.L2.Capacity(), Ways: 8, LineBytes: g.LineBytes}
+		rep := arraymodel.NewReport(g.Name, g.L2.Capacity(), tech, geom, 32, 6, g.SM.Registers, g.NumSMs)
+		fmt.Printf("%-14s %10d %12.4f %14.3f\n", g.Name, g.SM.Registers, leak, rep.TotalMM2)
+	}
+}

@@ -1,0 +1,203 @@
+// Command sttexp regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports, produced by
+// the simulator rather than copied from the paper.
+//
+// Usage:
+//
+//	sttexp -exp all                # everything (slow at full scale)
+//	sttexp -exp fig8 -scale 0.25   # one experiment, scaled down
+//	sttexp -exp fig3,fig6 -bench bfs,stencil
+//
+// Experiments: table1 table2 fig3 fig4 fig5 fig6 fig8 ablation area
+// Extensions: power retention lrsize reliability wear
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sttllc/internal/arraymodel"
+	"sttllc/internal/config"
+	"sttllc/internal/experiments"
+	"sttllc/internal/plot"
+	"sttllc/internal/sttram"
+)
+
+// fig8Chart renders one Figure 8 metric as grouped ASCII bars.
+func fig8Chart(title string, res experiments.Fig8Result, pick func(experiments.Fig8Row) map[string]float64) string {
+	perSeries := map[string]map[string]float64{}
+	for _, cfg := range experiments.Fig8Configs {
+		perSeries[cfg] = map[string]float64{}
+	}
+	for _, r := range res.Rows {
+		m := pick(r)
+		for _, cfg := range experiments.Fig8Configs {
+			perSeries[cfg][r.Benchmark] = m[cfg]
+		}
+	}
+	ch := plot.FromMap(title, perSeries, experiments.Fig8Configs, 1.0)
+	return ch.Render()
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiments (table1,table2,fig3..fig8,ablation,area,power,retention,lrsize,reliability,wear,all)")
+		scale   = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
+		warps   = flag.Int("warps", 0, "override warp jobs per SM (0 = benchmark default)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		quiet   = flag.Bool("q", false, "suppress timing footers")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		chart   = flag.Bool("chart", false, "render Figure 8 as ASCII bar charts")
+	)
+	flag.Parse()
+
+	p := experiments.Params{Scale: *scale, WarpsPerSM: *warps}
+	if *benches != "" {
+		p.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	jsonOut := map[string]any{}
+	run := func(name string, fn func()) {
+		if !all && !want[name] {
+			return
+		}
+		t0 := time.Now()
+		fn()
+		if !*asJSON {
+			if !*quiet {
+				fmt.Printf("[%s took %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+			} else {
+				fmt.Println()
+			}
+		}
+		delete(want, name)
+	}
+	// text prints s unless JSON mode is active; data registers the
+	// experiment's structured rows for the JSON document.
+	text := func(s string) {
+		if !*asJSON {
+			fmt.Print(s)
+		}
+	}
+	data := func(name string, v any) { jsonOut[name] = v }
+
+	run("table1", func() {
+		rows := sttram.Table1(config.BaseLineBytes)
+		data("table1", rows)
+		text("Table 1: STT-RAM parameters for different data retention times\n")
+		text(sttram.FormatTable1(config.BaseLineBytes))
+	})
+	run("table2", func() {
+		data("table2", config.Table2())
+		text("Table 2: GPU configurations\n")
+		text(config.FormatTable2())
+	})
+	run("area", func() {
+		area := map[string]any{
+			"densityRatio":    arraymodel.DensityRatio(),
+			"sram384KBmm2":    arraymodel.DataArrayAreaMM2(384<<10, arraymodel.SRAM),
+			"stt1536KBmm2":    arraymodel.DataArrayAreaMM2(1536<<10, arraymodel.STTRAM),
+			"c2RegBonusPerSM": config.RegisterBonusPerSM(config.BaseL2Bytes),
+			"c3RegBonusPerSM": config.RegisterBonusPerSM(2 * config.BaseL2Bytes),
+		}
+		data("area", area)
+		text("Area model: iso-area accounting\n")
+		text(fmt.Sprintf("  STT/SRAM density ratio: %.1fx\n", arraymodel.DensityRatio()))
+		text(fmt.Sprintf("  384KB SRAM data array:  %.3f mm²\n", arraymodel.DataArrayAreaMM2(384<<10, arraymodel.SRAM)))
+		text(fmt.Sprintf("  1536KB STT data array:  %.3f mm² (C1, equal area)\n", arraymodel.DataArrayAreaMM2(1536<<10, arraymodel.STTRAM)))
+		text(fmt.Sprintf("  C2 register bonus/SM:   %d regs\n", config.RegisterBonusPerSM(config.BaseL2Bytes)))
+		text(fmt.Sprintf("  C3 register bonus/SM:   %d regs\n", config.RegisterBonusPerSM(2*config.BaseL2Bytes)))
+	})
+	run("fig3", func() {
+		rows := experiments.Fig3(p)
+		data("fig3", rows)
+		text(experiments.FormatFig3(rows))
+	})
+	run("fig4", func() {
+		rows := experiments.Fig4(p, nil)
+		data("fig4", rows)
+		text(experiments.FormatFig4(rows))
+	})
+	run("fig5", func() {
+		rows := experiments.Fig5(p, nil)
+		data("fig5", rows)
+		text(experiments.FormatFig5(rows))
+	})
+	run("fig6", func() {
+		rows := experiments.Fig6(p)
+		data("fig6", rows)
+		text(experiments.FormatFig6(rows))
+	})
+	run("fig8", func() {
+		res := experiments.Fig8(p)
+		data("fig8", res)
+		if *chart {
+			text(fig8Chart("Figure 8a: speedup vs SRAM baseline", res,
+				func(r experiments.Fig8Row) map[string]float64 { return r.Speedup }))
+			text("\n")
+			text(fig8Chart("Figure 8c: total L2 power vs SRAM baseline", res,
+				func(r experiments.Fig8Row) map[string]float64 { return r.TotalPower }))
+			return
+		}
+		text(experiments.FormatFig8a(res))
+		text("\n")
+		text(experiments.FormatFig8b(res))
+		text("\n")
+		text(experiments.FormatFig8c(res))
+	})
+	run("ablation", func() {
+		rows := experiments.Ablation(p, nil)
+		data("ablation", rows)
+		text(experiments.FormatAblation(rows))
+	})
+	run("power", func() {
+		rows := experiments.PowerBreakdown(p, "C1")
+		data("power", rows)
+		text(experiments.FormatPowerBreakdown(rows))
+	})
+	run("retention", func() {
+		rows := experiments.RetentionSweep(p, nil)
+		data("retention", rows)
+		text(experiments.FormatRetentionSweep(rows))
+	})
+	run("lrsize", func() {
+		rows := experiments.LRSizeSweep(p)
+		data("lrsize", rows)
+		text(experiments.FormatLRSizeSweep(rows))
+	})
+	run("reliability", func() {
+		rows := experiments.Reliability(p)
+		data("reliability", rows)
+		text(experiments.FormatReliability(rows))
+	})
+	run("wear", func() {
+		rows := experiments.WearLeveling(p)
+		data("wear", rows)
+		text(experiments.FormatWearLeveling(rows))
+	})
+
+	if !all {
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "sttexp: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "sttexp: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

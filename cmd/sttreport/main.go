@@ -1,0 +1,44 @@
+// Command sttreport regenerates the whole evaluation and writes a
+// self-contained Markdown report (the machine-produced counterpart of
+// EXPERIMENTS.md) to stdout or a file.
+//
+// Usage:
+//
+//	sttreport                      # full scale, to stdout (minutes)
+//	sttreport -scale 0.2 -o report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sttllc/internal/experiments"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
+		warps   = flag.Int("warps", 0, "override warp jobs per SM (0 = benchmark default)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	p := experiments.Params{Scale: *scale, WarpsPerSM: *warps}
+	if *benches != "" {
+		p.Benchmarks = strings.Split(*benches, ",")
+	}
+	report := experiments.MarkdownReport(p)
+
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sttreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d bytes to %s\n", len(report), *out)
+}

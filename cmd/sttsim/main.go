@@ -1,0 +1,99 @@
+// Command sttsim runs one benchmark on one GPU configuration and prints
+// the simulation result: IPC, cache behaviour, the two-part machinery's
+// event counts, and the L2 power breakdown.
+//
+// Usage:
+//
+//	sttsim -config C1 -bench bfs [-scale 0.5] [-warps 32] [-maxcycles N]
+//	sttsim -config C1 -app srad-pipeline    # multi-kernel application
+//	sttsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sttllc/internal/config"
+	"sttllc/internal/experiments"
+	"sttllc/internal/sim"
+	"sttllc/internal/workloads"
+)
+
+func main() {
+	var (
+		cfgName   = flag.String("config", "C1", "configuration: baseline-SRAM, baseline-STT, C1, C2, C3")
+		benchName = flag.String("bench", "bfs", "benchmark name (see -list)")
+		appName   = flag.String("app", "", "run a multi-kernel application instead of one benchmark")
+		scale     = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
+		warps     = flag.Int("warps", 0, "override warp jobs per SM (0 = benchmark default)")
+		maxCycles = flag.Int64("maxcycles", 0, "abort after this many cycles (0 = none)")
+		warmup    = flag.Uint64("warmup", 0, "instructions to run before statistics start (0 = none)")
+		list      = flag.Bool("list", false, "list configurations and benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("configurations:")
+		for _, g := range config.All() {
+			fmt.Printf("  %-14s %s\n", g.Name, g.Description)
+		}
+		fmt.Println("benchmarks:")
+		for _, s := range workloads.All() {
+			fmt.Printf("  %-14s region %d  %s\n", s.Name, s.Region, s.Description)
+		}
+		fmt.Println("applications:")
+		for _, a := range workloads.Apps() {
+			fmt.Printf("  %-18s %s\n", a.Name, a.Description)
+		}
+		return
+	}
+
+	cfg, ok := config.ByName(*cfgName)
+	if !ok {
+		fail("unknown configuration %q (try -list)", *cfgName)
+	}
+	if *appName != "" {
+		app, ok := workloads.AppByName(*appName)
+		if !ok {
+			fail("unknown application %q (try -list)", *appName)
+		}
+		for i := range app.Kernels {
+			if *scale > 0 && *scale != 1.0 {
+				app.Kernels[i] = app.Kernels[i].Scale(*scale)
+			}
+			if *warps > 0 {
+				app.Kernels[i].WarpsPerSM = *warps
+			}
+		}
+		ar := sim.RunApp(cfg, app, sim.Options{MaxCycles: *maxCycles})
+		fmt.Printf("application=%s config=%s\n", ar.App, ar.Config)
+		for _, k := range ar.Kernels {
+			fmt.Printf("  kernel %-14s cycles=%d IPC=%.4f L2hit=%.3f\n",
+				k.Benchmark, k.EndCycle-k.StartCycle, k.IPC, k.L2HitRate)
+		}
+		fmt.Printf("  total cycles=%d IPC=%.4f power=%.4fW\n", ar.Cycles, ar.IPC, ar.Final.TotalPowerW)
+		return
+	}
+	spec, ok := workloads.ByName(*benchName)
+	if !ok {
+		fail("unknown benchmark %q (try -list)", *benchName)
+	}
+	if *scale > 0 && *scale != 1.0 {
+		spec = spec.Scale(*scale)
+	}
+	if *warps > 0 {
+		spec.WarpsPerSM = *warps
+	}
+
+	r := sim.RunOne(cfg, spec, sim.Options{MaxCycles: *maxCycles, WarmupInstructions: *warmup})
+	fmt.Print(experiments.RunResultString(r))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sttsim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "usage: sttsim -config <name> -bench <name>; flags:")
+	flag.CommandLine.SetOutput(os.Stderr)
+	flag.PrintDefaults()
+	os.Exit(2)
+}

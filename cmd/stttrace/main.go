@@ -1,0 +1,221 @@
+// Command stttrace generates a benchmark's warp instruction streams and
+// characterizes them without running the timing simulator: instruction
+// mix, address-space coverage, write-working-set size, and the write
+// skew that drives the Fig. 3 variation. Useful for inspecting and
+// debugging the synthetic workload models.
+//
+// It can also record a live simulation's L2 access stream to a compact
+// binary trace and replay such traces into any bank organization.
+//
+// Usage:
+//
+//	stttrace -bench bfs [-warps 64] [-scale 1.0] [-dump 20]
+//	stttrace -bench bfs -record trace.bin [-config C1]
+//	stttrace -replay trace.bin -config C2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sttllc/internal/config"
+	"sttllc/internal/experiments"
+	"sttllc/internal/gpu"
+	"sttllc/internal/sim"
+	"sttllc/internal/trace"
+	"sttllc/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "bfs", "benchmark name")
+		warps     = flag.Int("warps", 64, "number of warps to generate")
+		scale     = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
+		dump      = flag.Int("dump", 0, "print the first N instructions of warp 0")
+		record    = flag.String("record", "", "run the simulator and record the L2 trace to this file")
+		replay    = flag.String("replay", "", "replay a recorded trace into banks of -config")
+		cfgName   = flag.String("config", "C1", "configuration for -record/-replay")
+		suite     = flag.Bool("suite", false, "print the parameter table of the whole benchmark suite")
+	)
+	flag.Parse()
+
+	if *suite {
+		printSuite()
+		return
+	}
+
+	if *replay != "" {
+		replayTrace(*replay, *cfgName)
+		return
+	}
+
+	spec, ok := workloads.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stttrace: unknown benchmark %q\n", *benchName)
+		os.Exit(2)
+	}
+	if *scale > 0 && *scale != 1.0 {
+		spec = spec.Scale(*scale)
+	}
+	if *record != "" {
+		recordTrace(spec, *cfgName, *record)
+		return
+	}
+	model := spec.Model()
+
+	if *dump > 0 {
+		st := model.NewWarp(0)
+		for i := 0; i < *dump; i++ {
+			in, ok := st.Next()
+			if !ok {
+				break
+			}
+			kind := "alu  "
+			switch in.Kind {
+			case gpu.InstrLoad:
+				kind = "load "
+			case gpu.InstrStore:
+				kind = "store"
+			}
+			local := ""
+			if in.Space != gpu.SpaceGlobal {
+				local = " " + in.Space.String()
+			}
+			if in.Kind == gpu.InstrALU {
+				fmt.Printf("%6d  %s\n", i, kind)
+			} else {
+				fmt.Printf("%6d  %s %#012x%s\n", i, kind, in.Addr, local)
+			}
+		}
+		return
+	}
+
+	var total, mem, loads, stores, locals uint64
+	readLines := map[uint64]struct{}{}
+	writeLines := map[uint64]struct{}{}
+	writeCounts := map[uint64]uint64{}
+	for w := 0; w < *warps; w++ {
+		st := model.NewWarp(w)
+		for {
+			in, ok := st.Next()
+			if !ok {
+				break
+			}
+			total++
+			if in.Kind == gpu.InstrALU {
+				continue
+			}
+			mem++
+			if in.Space == gpu.SpaceLocal {
+				locals++
+			}
+			line := in.Addr &^ 127
+			switch in.Kind {
+			case gpu.InstrLoad:
+				loads++
+				readLines[line] = struct{}{}
+			case gpu.InstrStore:
+				stores++
+				writeLines[line] = struct{}{}
+				writeCounts[line]++
+			}
+		}
+	}
+
+	fmt.Printf("benchmark %s (region %d): %s\n", spec.Name, spec.Region, spec.Description)
+	fmt.Printf("  warps=%d instructions=%d\n", *warps, total)
+	fmt.Printf("  mix: mem=%.1f%% (loads=%.1f%%, stores=%.1f%%, local=%.1f%% of mem)\n",
+		pct(mem, total), pct(loads, total), pct(stores, total), pct(locals, mem))
+	fmt.Printf("  write share of mem ops: %.1f%% (paper range: ~0%%..63%%)\n", pct(stores, mem))
+	fmt.Printf("  read footprint:  %8d lines (%d KB)\n", len(readLines), len(readLines)*128>>10)
+	fmt.Printf("  write working set: %6d lines (%d KB)\n", len(writeLines), len(writeLines)*128>>10)
+
+	// Write skew: share of writes landing on the hottest 10% of lines.
+	counts := make([]uint64, 0, len(writeCounts))
+	for _, c := range writeCounts {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	hot := len(counts) / 10
+	if hot == 0 && len(counts) > 0 {
+		hot = 1
+	}
+	var hotWrites uint64
+	for _, c := range counts[:hot] {
+		hotWrites += c
+	}
+	if stores > 0 {
+		fmt.Printf("  write skew: hottest 10%% of written lines receive %.1f%% of writes\n",
+			pct(hotWrites, stores))
+	}
+}
+
+// recordTrace runs the benchmark on the configuration, recording L2
+// traffic.
+func recordTrace(spec workloads.Spec, cfgName, path string) {
+	cfg, ok := config.ByName(cfgName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stttrace: unknown configuration %q\n", cfgName)
+		os.Exit(2)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	r := sim.RunOne(cfg, spec, sim.Options{TraceWriter: w})
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: flush: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d L2 accesses over %d cycles (%s on %s) to %s\n",
+		w.Count(), r.Cycles, spec.Name, cfg.Name, path)
+}
+
+// replayTrace drives a recorded trace into the named configuration.
+func replayTrace(path, cfgName string) {
+	cfg, ok := config.ByName(cfgName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stttrace: unknown configuration %q\n", cfgName)
+		os.Exit(2)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: decode: %v\n", err)
+		os.Exit(1)
+	}
+	r := sim.Replay(cfg, recs)
+	fmt.Printf("replayed %d accesses into %s\n", len(recs), cfg.Name)
+	fmt.Print(experiments.RunResultString(r))
+}
+
+// printSuite renders the per-benchmark parameter table.
+func printSuite() {
+	fmt.Printf("%-14s %-7s %5s %5s %5s %5s %5s %9s %7s %5s %4s %6s\n",
+		"benchmark", "region", "mem%", "wr%", "lcl%", "cst%", "tex%",
+		"footprint", "wws", "regs", "tpb", "grids")
+	for _, s := range workloads.All() {
+		fmt.Printf("%-14s %-7d %4.0f%% %4.0f%% %4.0f%% %4.0f%% %4.0f%% %8dK %6dK %5d %4d %6d\n",
+			s.Name, s.Region, s.MemFrac*100, s.WriteFrac*100, s.LocalFrac*100,
+			s.ConstFrac*100, s.TexFrac*100,
+			s.FootprintBytes>>10, s.WWSBytes>>10,
+			s.RegsPerThread, s.ThreadsPerBlock, s.Grids)
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,15 @@
+// Package sttllc is a from-scratch reproduction of "An Efficient STT-RAM
+// Last Level Cache Architecture for GPUs" (Samavatian et al., DAC 2014):
+// a cycle-level GPU simulator with a two-part low-retention /
+// high-retention STT-RAM L2 cache, the SRAM and archival-STT-RAM
+// baselines it is evaluated against, an analytical device/area model in
+// place of CACTI, and a synthetic GPGPU benchmark suite in place of the
+// CUDA workloads.
+//
+// The implementation lives under internal/; the runnable entry points
+// are the commands under cmd/ (sttsim, sttexp, stttrace, sttcacti) and
+// the examples under examples/. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper's numbers.
+package sttllc

@@ -1,0 +1,43 @@
+// Powerstudy: break the L2 power of every configuration down into
+// leakage and dynamic components for a write-heavy and a read-mostly
+// kernel, showing why the naive archival STT-RAM replacement loses
+// (enormous write energy) while the two-part design wins (near-zero
+// leakage plus writes served by cheap low-retention cells).
+//
+// Run with: go run ./examples/powerstudy
+package main
+
+import (
+	"fmt"
+
+	"sttllc/internal/config"
+	"sttllc/internal/sim"
+	"sttllc/internal/workloads"
+)
+
+func main() {
+	for _, bench := range []string{"stencil", "mum"} {
+		spec, _ := workloads.ByName(bench)
+		spec = spec.Scale(0.2)
+		fmt.Printf("== %s (%s) ==\n", spec.Name, spec.Description)
+		fmt.Printf("%-16s %8s %10s %10s %10s %10s\n",
+			"config", "IPC", "leak(W)", "dyn(W)", "total(W)", "vs SRAM")
+		var baseTotal float64
+		for _, cfg := range config.All() {
+			r := sim.RunOne(cfg, spec, sim.Options{})
+			if cfg.Name == "baseline-SRAM" {
+				baseTotal = r.TotalPowerW
+			}
+			fmt.Printf("%-16s %8.2f %10.4f %10.4f %10.4f %9.2fx\n",
+				r.Config, r.IPC, r.LeakagePowerW, r.DynamicPowerW, r.TotalPowerW,
+				r.TotalPowerW/baseTotal)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Notes:")
+	fmt.Println(" - SRAM pays ~0.39W of leakage for 384KB regardless of activity.")
+	fmt.Println(" - The archival STT-RAM baseline eliminates leakage but its 10-year")
+	fmt.Println("   cells make every write ~7x more expensive than SRAM's.")
+	fmt.Println(" - C1/C2/C3 keep the leakage win and route the write working set to")
+	fmt.Println("   low-retention cells, cutting the write-energy penalty sharply.")
+}

@@ -1,0 +1,3 @@
+module sttllc
+
+go 1.22

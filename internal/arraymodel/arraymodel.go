@@ -1,0 +1,183 @@
+// Package arraymodel is the repo's stand-in for the paper's modified
+// CACTI 6.5: an analytical area model for SRAM and STT-RAM memory arrays
+// and for GPU register files. It closes the iso-area accounting loop of
+// the evaluation: the STT-RAM cell is ~4x denser than the SRAM cell, so
+// replacing the SRAM L2 frees die area that configurations C1/C2/C3 spend
+// on a bigger L2, a bigger register file, or both.
+//
+// Absolute mm² values are indicative (F²-based cell areas with a fixed
+// peripheral overhead); all of the paper's conclusions depend only on the
+// *ratios*, which the model fixes by construction.
+package arraymodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology selects the storage cell type of a data array.
+type Technology int
+
+const (
+	SRAM Technology = iota
+	STTRAM
+)
+
+// String returns the technology name.
+func (t Technology) String() string {
+	switch t {
+	case SRAM:
+		return "SRAM"
+	case STTRAM:
+		return "STT-RAM"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// Cell areas in F² (feature-size-squared). The 6T SRAM cell is ~146F²;
+// the 1T1J STT-RAM cell is 36.5F², exactly 4x denser, matching the
+// paper's "about 4x denser" premise.
+const (
+	SRAMCellF2 = 146.0
+	STTCellF2  = 36.5
+	// RFCellF2 is the register-file bit cell. GPU register files are
+	// banked single-ported SRAM, so the same 6T cell applies.
+	RFCellF2 = 146.0
+	// peripheralOverhead scales raw bit area up for decoders, sense
+	// amplifiers, and wiring.
+	peripheralOverhead = 1.25
+)
+
+// FeatureNM is the technology node of the evaluation (40nm, Table 2).
+const FeatureNM = 40.0
+
+// CellAreaF2 returns the storage-cell area of a technology in F².
+func CellAreaF2(t Technology) float64 {
+	if t == STTRAM {
+		return STTCellF2
+	}
+	return SRAMCellF2
+}
+
+// DensityRatio returns how many STT-RAM bits fit in the area of one SRAM
+// bit (the paper's 4x).
+func DensityRatio() float64 { return SRAMCellF2 / STTCellF2 }
+
+// DataArrayAreaMM2 returns the die area in mm² of a data array of the
+// given capacity, including peripheral overhead.
+func DataArrayAreaMM2(capacityBytes int, t Technology) float64 {
+	bits := float64(capacityBytes) * 8
+	f := FeatureNM * 1e-9 // meters
+	cell := CellAreaF2(t) * f * f
+	return bits * cell * peripheralOverhead * 1e6 // m² -> mm²
+}
+
+// Geometry describes a set-associative cache organization.
+type Geometry struct {
+	CapacityBytes int
+	Ways          int
+	LineBytes     int
+}
+
+// Sets returns the number of sets.
+func (g Geometry) Sets() int {
+	if g.Ways == 0 || g.LineBytes == 0 {
+		return 0
+	}
+	return g.CapacityBytes / (g.Ways * g.LineBytes)
+}
+
+// Lines returns the number of cache lines.
+func (g Geometry) Lines() int {
+	if g.LineBytes == 0 {
+		return 0
+	}
+	return g.CapacityBytes / g.LineBytes
+}
+
+// TagBitsPerLine returns the tag width for the geometry under addrBits-bit
+// physical addresses, plus valid and dirty bits.
+func TagBitsPerLine(g Geometry, addrBits int) int {
+	sets := g.Sets()
+	if sets == 0 {
+		return 0
+	}
+	setBits := int(math.Round(math.Log2(float64(sets))))
+	offBits := int(math.Round(math.Log2(float64(g.LineBytes))))
+	return addrBits - setBits - offBits + 2 // +valid +dirty
+}
+
+// TagArrayBytes returns the SRAM tag-array size for the geometry. The
+// paper keeps tags in SRAM in every configuration ("we keep tag array
+// SRAM so it is fast"); the data array is at least 8x larger, so the tag
+// overhead is insignificant.
+func TagArrayBytes(g Geometry, addrBits int, extraBitsPerLine int) int {
+	bits := g.Lines() * (TagBitsPerLine(g, addrBits) + extraBitsPerLine)
+	return (bits + 7) / 8
+}
+
+// BitsPerRegister is the GPU register width (Table 2: "register 32bit
+// width").
+const BitsPerRegister = 32
+
+// RegisterFileAreaMM2 returns the area of a register file with the given
+// number of 32-bit registers.
+func RegisterFileAreaMM2(registers int) float64 {
+	bits := float64(registers) * BitsPerRegister
+	f := FeatureNM * 1e-9
+	return bits * RFCellF2 * f * f * peripheralOverhead * 1e6
+}
+
+// RegistersFromAreaMM2 returns how many 32-bit registers fit in the given
+// die area.
+func RegistersFromAreaMM2(areaMM2 float64) int {
+	if areaMM2 <= 0 {
+		return 0
+	}
+	f := FeatureNM * 1e-9
+	bitArea := RFCellF2 * f * f * peripheralOverhead * 1e6
+	return int(areaMM2 / bitArea / BitsPerRegister)
+}
+
+// SavedAreaMM2 returns the die area freed by replacing an SRAM data array
+// of sramBytes with an STT-RAM data array of sttBytes (negative if the
+// STT array is larger than the SRAM budget allows).
+func SavedAreaMM2(sramBytes, sttBytes int) float64 {
+	return DataArrayAreaMM2(sramBytes, SRAM) - DataArrayAreaMM2(sttBytes, STTRAM)
+}
+
+// EqualAreaSTTBytes returns the STT-RAM capacity that occupies the same
+// area as an SRAM array of sramBytes (the paper's "4x larger L2" of C1).
+func EqualAreaSTTBytes(sramBytes int) int {
+	return int(float64(sramBytes) * DensityRatio())
+}
+
+// Report summarizes the area accounting of one configuration.
+type Report struct {
+	Name           string
+	L2DataAreaMM2  float64
+	L2TagAreaMM2   float64
+	RFAreaPerSMMM2 float64
+	TotalMM2       float64
+}
+
+// NewReport assembles the area accounting for one configuration: L2 data
+// arrays (per technology), SRAM tag arrays, and register files across
+// numSMs streaming multiprocessors.
+func NewReport(name string, dataBytes int, tech Technology, tagGeom Geometry, addrBits, extraTagBits, rfRegsPerSM, numSMs int) Report {
+	r := Report{
+		Name:           name,
+		L2DataAreaMM2:  DataArrayAreaMM2(dataBytes, tech),
+		L2TagAreaMM2:   DataArrayAreaMM2(TagArrayBytes(tagGeom, addrBits, extraTagBits), SRAM),
+		RFAreaPerSMMM2: RegisterFileAreaMM2(rfRegsPerSM),
+	}
+	r.TotalMM2 = r.L2DataAreaMM2 + r.L2TagAreaMM2 + r.RFAreaPerSMMM2*float64(numSMs)
+	return r
+}
+
+// String renders the report as one line.
+func (r Report) String() string {
+	return fmt.Sprintf("%-14s L2 data %6.3f mm², tags %6.3f mm², RF/SM %6.3f mm², total %7.3f mm²",
+		r.Name, r.L2DataAreaMM2, r.L2TagAreaMM2, r.RFAreaPerSMMM2, r.TotalMM2)
+}

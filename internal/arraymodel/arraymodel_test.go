@@ -1,0 +1,150 @@
+package arraymodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDensityRatioIs4x(t *testing.T) {
+	if got := DensityRatio(); got != 4.0 {
+		t.Errorf("DensityRatio = %v, want 4.0", got)
+	}
+}
+
+func TestTechnologyString(t *testing.T) {
+	if SRAM.String() != "SRAM" || STTRAM.String() != "STT-RAM" {
+		t.Error("Technology.String mismatch")
+	}
+	if Technology(9).String() != "Technology(9)" {
+		t.Error("unknown technology should render its ordinal")
+	}
+}
+
+func TestDataArrayAreaScalesLinearly(t *testing.T) {
+	a1 := DataArrayAreaMM2(384<<10, SRAM)
+	a2 := DataArrayAreaMM2(768<<10, SRAM)
+	if math.Abs(a2/a1-2) > 1e-9 {
+		t.Errorf("area should scale linearly with capacity: %v vs %v", a1, a2)
+	}
+}
+
+func TestEqualAreaSTTBytes(t *testing.T) {
+	// C1's premise: 384KB of SRAM area holds 1536KB of STT-RAM.
+	if got := EqualAreaSTTBytes(384 << 10); got != 1536<<10 {
+		t.Errorf("EqualAreaSTTBytes(384KB) = %d, want 1536KB", got)
+	}
+	// And the areas must actually be equal.
+	d := DataArrayAreaMM2(384<<10, SRAM) - DataArrayAreaMM2(1536<<10, STTRAM)
+	if math.Abs(d) > 1e-9 {
+		t.Errorf("iso-area violated by %v mm²", d)
+	}
+}
+
+func TestSavedAreaMM2(t *testing.T) {
+	// Same-capacity replacement frees 3/4 of the SRAM array area.
+	saved := SavedAreaMM2(384<<10, 384<<10)
+	want := DataArrayAreaMM2(384<<10, SRAM) * 0.75
+	if math.Abs(saved-want) > 1e-9 {
+		t.Errorf("SavedArea = %v, want %v", saved, want)
+	}
+	// A 4x STT array saves nothing.
+	if s := SavedAreaMM2(384<<10, 1536<<10); math.Abs(s) > 1e-9 {
+		t.Errorf("4x replacement should save ~0, got %v", s)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{CapacityBytes: 384 << 10, Ways: 8, LineBytes: 256}
+	if got := g.Lines(); got != 1536 {
+		t.Errorf("Lines = %d, want 1536", got)
+	}
+	if got := g.Sets(); got != 192 {
+		t.Errorf("Sets = %d, want 192", got)
+	}
+	var zero Geometry
+	if zero.Sets() != 0 || zero.Lines() != 0 {
+		t.Error("zero geometry should report 0 sets/lines")
+	}
+}
+
+func TestTagBits(t *testing.T) {
+	g := Geometry{CapacityBytes: 384 << 10, Ways: 8, LineBytes: 256}
+	// 32-bit address, 192 sets is not a power of two in general use,
+	// but log2(192)≈7.58 rounds to 8; offset 8 bits; +2 status bits.
+	got := TagBitsPerLine(g, 32)
+	if got != 32-8-8+2 {
+		t.Errorf("TagBitsPerLine = %d, want 18", got)
+	}
+}
+
+func TestTagArraySmallRelativeToData(t *testing.T) {
+	// Paper: "data array area is at least 8x the tag array area".
+	g := Geometry{CapacityBytes: 384 << 10, Ways: 8, LineBytes: 256}
+	tagBytes := TagArrayBytes(g, 32, 4)
+	if tagBytes*8 > g.CapacityBytes {
+		t.Errorf("tag array (%dB) should be <= 1/8 of data (%dB)", tagBytes, g.CapacityBytes)
+	}
+}
+
+func TestRegisterAreaRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		regs := int(raw)*64 + 1024
+		area := RegisterFileAreaMM2(regs)
+		back := RegistersFromAreaMM2(area)
+		// Round trip within one register of truncation error.
+		return back <= regs && regs-back <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistersFromAreaNonPositive(t *testing.T) {
+	if got := RegistersFromAreaMM2(0); got != 0 {
+		t.Errorf("RegistersFromAreaMM2(0) = %d, want 0", got)
+	}
+	if got := RegistersFromAreaMM2(-1); got != 0 {
+		t.Errorf("RegistersFromAreaMM2(-1) = %d, want 0", got)
+	}
+}
+
+func TestC2RegisterBonusPlausible(t *testing.T) {
+	// C2: iso-capacity 384KB STT-RAM L2 frees 3/4 of the SRAM area;
+	// spent on registers across 15 SMs it should land in the tens of
+	// thousands of extra registers per GPU (a meaningful RF boost, not
+	// a rounding error and not an absurd 10x).
+	saved := SavedAreaMM2(384<<10, 384<<10)
+	extra := RegistersFromAreaMM2(saved)
+	perSM := extra / 15
+	if perSM < 1000 || perSM > 20000 {
+		t.Errorf("extra registers per SM = %d, want in [1000, 20000]", perSM)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Name: "C1", L2DataAreaMM2: 1, L2TagAreaMM2: 0.1, RFAreaPerSMMM2: 0.2, TotalMM2: 4}
+	if s := r.String(); len(s) == 0 || s[:2] != "C1" {
+		t.Errorf("Report.String = %q", s)
+	}
+}
+
+func TestNewReport(t *testing.T) {
+	g := Geometry{CapacityBytes: 384 << 10, Ways: 8, LineBytes: 256}
+	sram := NewReport("baseline", 384<<10, SRAM, g, 32, 2, 32768, 15)
+	stt := NewReport("C1-data", 1536<<10, STTRAM, g, 32, 6, 32768, 15)
+	if sram.TotalMM2 <= 0 || stt.TotalMM2 <= 0 {
+		t.Fatal("empty report")
+	}
+	// Iso-area: the 4x STT data array equals the SRAM data array.
+	if math.Abs(sram.L2DataAreaMM2-stt.L2DataAreaMM2) > 1e-9 {
+		t.Errorf("iso-area violated: %v vs %v", sram.L2DataAreaMM2, stt.L2DataAreaMM2)
+	}
+	// Tags are a small fraction of the data array.
+	if sram.L2TagAreaMM2*5 > sram.L2DataAreaMM2 {
+		t.Errorf("tag area (%v) should be well below data (%v)", sram.L2TagAreaMM2, sram.L2DataAreaMM2)
+	}
+	if s := sram.String(); len(s) == 0 {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,413 @@
+// Package cache implements the generic set-associative cache array used
+// by every cache in the simulated GPU: the per-SM L1 data caches, the
+// baseline SRAM/STT-RAM L2 banks, and the LR and HR parts of the proposed
+// two-part L2. It deliberately models only the *array*: tags, LRU state,
+// dirty bits, and the per-line metadata the paper's mechanisms need (a
+// saturating write counter for WWS detection and the last-write cycle for
+// retention tracking). Policies — search order, migration, refresh,
+// write-through vs. write-back — belong to the owners in internal/core
+// and internal/gpu.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sttllc/internal/stats"
+)
+
+// Line is one cache line's bookkeeping state.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	// WriteCount is the saturating write counter (WC) of the paper's
+	// WWS monitor. With the default threshold of 1 it degenerates to
+	// the ordinary modified bit, which is exactly the paper's point.
+	WriteCount uint8
+	// LastWriteCycle is the cycle of the most recent *program* write
+	// (fill or store) into the line, used for rewrite-interval
+	// characterization (Fig. 6).
+	LastWriteCycle int64
+	// RetentionStamp is the cycle the cell array was last physically
+	// written — program writes, fills, and refreshes all reset it. The
+	// retention clock of STT-RAM expiry checks runs from here.
+	RetentionStamp int64
+	// lru is a per-set monotonically increasing use stamp; smallest is
+	// the LRU victim.
+	lru uint64
+	// fill is the stamp at allocation time, for FIFO replacement.
+	fill uint64
+	// Wear counts every physical write into this line slot (stores and
+	// fills), for endurance analysis and wear-aware replacement. Wear
+	// belongs to the physical slot, so it survives Fill and Invalidate.
+	Wear uint32
+}
+
+// Stats counts the array's access outcomes.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fills       uint64
+	Evictions   uint64
+	DirtyEvict  uint64
+	Invalidates uint64
+}
+
+// Accesses returns the total number of lookups recorded.
+func (s Stats) Accesses() uint64 {
+	return s.ReadHits + s.ReadMisses + s.WriteHits + s.WriteMisses
+}
+
+// Hits returns total hits.
+func (s Stats) Hits() uint64 { return s.ReadHits + s.WriteHits }
+
+// Misses returns total misses.
+func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// HitRate returns hits/accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(a)
+}
+
+// Policy selects the replacement victim within a set.
+type Policy int
+
+const (
+	// LRU evicts the least recently used line (the default; what the
+	// paper's caches use).
+	LRU Policy = iota
+	// FIFO evicts the earliest-filled line regardless of use.
+	FIFO
+	// Random evicts a pseudo-random valid line (deterministic per
+	// cache instance).
+	Random
+	// WearAware evicts the least-worn valid line, leveling write wear
+	// within a set (the intra-set counterpart of i2WAP's schemes).
+	WearAware
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	case WearAware:
+		return "WearAware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Cache is a set-associative array. Construct with New. A Cache with one
+// set is fully associative; a Cache with one way is direct-mapped.
+type Cache struct {
+	CapacityBytes int
+	Ways          int
+	LineBytes     int
+	// Policy selects the replacement victim; zero value is LRU. Set it
+	// before the first access.
+	Policy Policy
+
+	sets     int
+	setShift uint // log2(LineBytes)
+	setMask  uint64
+	lines    []Line // sets*Ways, row-major
+	stamp    uint64
+	rng      uint64 // Random-policy PRNG state
+
+	Stats Stats
+	// WriteVar, when non-nil, records every write hit and write fill
+	// per (set, way) for the Fig. 3 inter/intra-set COV analysis.
+	WriteVar *stats.WriteVariation
+}
+
+// New builds a cache of capacityBytes with the given associativity and
+// line size. Line size and the resulting set count must be powers of two
+// (standard indexing); ways does not. It panics on invalid geometry,
+// which is a configuration bug.
+func New(capacityBytes, ways, lineBytes int) *Cache {
+	if capacityBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	if bits.OnesCount(uint(lineBytes)) != 1 {
+		panic("cache: line size must be a power of two")
+	}
+	if capacityBytes%(ways*lineBytes) != 0 {
+		panic(fmt.Sprintf("cache: capacity %d not divisible by ways*line %d", capacityBytes, ways*lineBytes))
+	}
+	sets := capacityBytes / (ways * lineBytes)
+	if bits.OnesCount(uint(sets)) != 1 {
+		panic(fmt.Sprintf("cache: set count %d must be a power of two", sets))
+	}
+	return &Cache{
+		CapacityBytes: capacityBytes,
+		Ways:          ways,
+		LineBytes:     lineBytes,
+		sets:          sets,
+		setShift:      uint(bits.TrailingZeros(uint(lineBytes))),
+		setMask:       uint64(sets - 1),
+		lines:         make([]Line, sets*ways),
+		rng:           0x9E3779B97F4A7C15,
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Index returns the set index and tag of an address.
+func (c *Cache) Index(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.setShift
+	return int(blk & c.setMask), blk >> uint(bits.TrailingZeros(uint(c.sets)))
+}
+
+// BlockAddr returns the line-aligned address.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.LineBytes) - 1)
+}
+
+// line returns the line at (set, way).
+func (c *Cache) line(set, way int) *Line {
+	return &c.lines[set*c.Ways+way]
+}
+
+// LineAt returns the line at (set, way) for inspection or targeted
+// mutation by policy owners (e.g. reading the pre-update LastWriteCycle
+// before applying a write, or clearing Dirty after a refresh).
+func (c *Cache) LineAt(set, way int) *Line {
+	return c.line(set, way)
+}
+
+// Probe looks the address up without changing any state (no LRU update,
+// no stats). It returns the way and whether it hit.
+func (c *Cache) Probe(addr uint64) (set, way int, hit bool) {
+	set, tag := c.Index(addr)
+	for w := 0; w < c.Ways; w++ {
+		l := c.line(set, w)
+		if l.Valid && l.Tag == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Access performs a read or write lookup at the given cycle. On a hit it
+// updates LRU, and for writes also the dirty bit, the saturating write
+// counter, and LastWriteCycle. It records stats and (for writes) write
+// variation. It does NOT allocate on miss; callers decide fill policy via
+// Fill.
+func (c *Cache) Access(addr uint64, write bool, cycle int64) (hit bool, line *Line) {
+	set, way, ok := c.Probe(addr)
+	if !ok {
+		if write {
+			c.Stats.WriteMisses++
+		} else {
+			c.Stats.ReadMisses++
+		}
+		return false, nil
+	}
+	l := c.line(set, way)
+	c.stamp++
+	l.lru = c.stamp
+	if write {
+		c.Stats.WriteHits++
+		l.Dirty = true
+		if l.WriteCount < 255 {
+			l.WriteCount++
+		}
+		l.LastWriteCycle = cycle
+		l.RetentionStamp = cycle
+		l.Wear++
+		if c.WriteVar != nil {
+			c.WriteVar.Record(set, way)
+		}
+	} else {
+		c.Stats.ReadHits++
+	}
+	return true, l
+}
+
+// Victim returns the way to evict in the set: an invalid way if any,
+// otherwise the line chosen by the replacement policy.
+func (c *Cache) Victim(set int) int {
+	victim := 0
+	var min uint64 = ^uint64(0)
+	for w := 0; w < c.Ways; w++ {
+		l := c.line(set, w)
+		if !l.Valid {
+			return w
+		}
+		var key uint64
+		switch c.Policy {
+		case FIFO:
+			key = l.fill
+		case WearAware:
+			key = uint64(l.Wear)
+		default: // LRU
+			key = l.lru
+		}
+		if key < min {
+			min = key
+			victim = w
+		}
+	}
+	if c.Policy == Random {
+		// xorshift64*: deterministic per cache instance.
+		c.rng ^= c.rng >> 12
+		c.rng ^= c.rng << 25
+		c.rng ^= c.rng >> 27
+		return int((c.rng * 0x2545F4914F6CDD1D) % uint64(c.Ways))
+	}
+	return victim
+}
+
+// Evicted describes a line pushed out by Fill or removed by Invalidate.
+type Evicted struct {
+	Addr  uint64 // line-aligned address reconstructed from set+tag
+	Dirty bool
+	Line  Line
+}
+
+// Fill allocates the address into its set (evicting the LRU victim if the
+// set is full) and returns the evicted line, if any was valid. The new
+// line is installed MRU; dirty marks it modified (e.g. a write-allocate
+// fill or a migrated dirty block). cycle stamps LastWriteCycle: a fill
+// physically writes the array regardless of dirtiness, which is what
+// retention tracking cares about.
+func (c *Cache) Fill(addr uint64, dirty bool, cycle int64) (ev Evicted, evicted bool) {
+	set, tag := c.Index(addr)
+	way := c.Victim(set)
+	l := c.line(set, way)
+	if l.Valid {
+		ev = Evicted{Addr: c.AddrOf(set, l.Tag), Dirty: l.Dirty, Line: *l}
+		evicted = true
+		c.Stats.Evictions++
+		if l.Dirty {
+			c.Stats.DirtyEvict++
+		}
+	}
+	c.stamp++
+	wc := uint8(0)
+	if dirty {
+		wc = 1
+	}
+	slotWear := l.Wear + 1 // the fill writes the physical slot
+	*l = Line{
+		Tag:            tag,
+		Valid:          true,
+		Dirty:          dirty,
+		WriteCount:     wc,
+		LastWriteCycle: cycle,
+		RetentionStamp: cycle,
+		lru:            c.stamp,
+		fill:           c.stamp,
+		Wear:           slotWear,
+	}
+	c.Stats.Fills++
+	if dirty && c.WriteVar != nil {
+		c.WriteVar.Record(set, way)
+	}
+	return ev, evicted
+}
+
+// AddrOf reconstructs the line-aligned address stored at (set, tag).
+func (c *Cache) AddrOf(set int, tag uint64) uint64 {
+	setBits := uint(bits.TrailingZeros(uint(c.sets)))
+	return (tag<<setBits | uint64(set)) << c.setShift
+}
+
+// Invalidate removes the address if present and returns its final state.
+func (c *Cache) Invalidate(addr uint64) (ev Evicted, found bool) {
+	set, way, ok := c.Probe(addr)
+	if !ok {
+		return Evicted{}, false
+	}
+	return c.InvalidateWay(set, way), true
+}
+
+// InvalidateWay removes the line at (set, way) and returns its final
+// state. Removing an already-invalid way returns a zero Evicted.
+func (c *Cache) InvalidateWay(set, way int) Evicted {
+	l := c.line(set, way)
+	if !l.Valid {
+		return Evicted{}
+	}
+	ev := Evicted{Addr: c.AddrOf(set, l.Tag), Dirty: l.Dirty, Line: *l}
+	*l = Line{Wear: l.Wear}
+	c.Stats.Invalidates++
+	return ev
+}
+
+// Range calls fn for every valid line. fn may mutate the line (e.g. clear
+// Dirty after a refresh) but must not invalidate it; use InvalidateWay
+// outside the iteration or via CollectExpired.
+func (c *Cache) Range(fn func(set, way int, l *Line)) {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.Ways; w++ {
+			l := c.line(s, w)
+			if l.Valid {
+				fn(s, w, l)
+			}
+		}
+	}
+}
+
+// CollectExpired returns the (set, way) pairs of valid lines whose cell
+// array has not been physically written (program write, fill, or
+// refresh) for at least maxAge cycles. The paper's retention counters
+// are a coarse hardware encoding of exactly this predicate.
+func (c *Cache) CollectExpired(now int64, maxAge int64) (setWays [][2]int) {
+	c.Range(func(set, way int, l *Line) {
+		if now-l.RetentionStamp >= maxAge {
+			setWays = append(setWays, [2]int{set, way})
+		}
+	})
+	return setWays
+}
+
+// ValidLines returns the number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	c.Range(func(int, int, *Line) { n++ })
+	return n
+}
+
+// WearCounts returns every line slot's physical write count, in
+// (set, way) order, for endurance analysis.
+func (c *Cache) WearCounts() []float64 {
+	out := make([]float64, len(c.lines))
+	for i := range c.lines {
+		out[i] = float64(c.lines[i].Wear)
+	}
+	return out
+}
+
+// EnableWriteVariation attaches a write-variation tracker sized to the
+// array. Call before simulation when Fig. 3-style stats are wanted.
+func (c *Cache) EnableWriteVariation() {
+	c.WriteVar = stats.NewWriteVariation(c.sets, c.Ways)
+}
+
+// Reset clears all lines and statistics but keeps the geometry and any
+// write-variation tracker dimensions.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = Line{}
+	}
+	c.stamp = 0
+	c.rng = 0x9E3779B97F4A7C15
+	c.Stats = Stats{}
+	if c.WriteVar != nil {
+		c.WriteVar = stats.NewWriteVariation(c.sets, c.Ways)
+	}
+}

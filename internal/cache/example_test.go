@@ -1,0 +1,24 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"sttllc/internal/cache"
+)
+
+// A miss, a fill, and a hit — the basic lifecycle every bank in the
+// simulator builds on.
+func ExampleCache() {
+	c := cache.New(4<<10, 4, 64) // 4KB, 4-way, 64B lines
+	if hit, _ := c.Access(0x1000, false, 1); !hit {
+		c.Fill(0x1000, false, 1)
+	}
+	hit, line := c.Access(0x1000, true, 2) // store: sets dirty + write counter
+	fmt.Println("hit:", hit)
+	fmt.Println("dirty:", line.Dirty)
+	fmt.Println("write count:", line.WriteCount)
+	// Output:
+	// hit: true
+	// dirty: true
+	// write count: 1
+}

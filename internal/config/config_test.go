@@ -1,0 +1,184 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"sttllc/internal/core"
+)
+
+func TestAllConfigsPresent(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("configurations = %d, want 5", len(all))
+	}
+	want := []string{"baseline-SRAM", "baseline-STT", "C1", "C2", "C3"}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("config[%d] = %q, want %q", i, all[i].Name, name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	g, ok := ByName("C1")
+	if !ok || g.Name != "C1" {
+		t.Fatalf("ByName(C1) failed: %+v %v", g, ok)
+	}
+	if _, ok := ByName("C9"); ok {
+		t.Error("unknown config should not resolve")
+	}
+}
+
+func TestTable2Capacities(t *testing.T) {
+	// The exact capacity ladder of Table 2.
+	tests := []struct {
+		name    string
+		totalKB int
+	}{
+		{"baseline-SRAM", 384},
+		{"baseline-STT", 1536},
+		{"C1", 1536},
+		{"C2", 384},
+		{"C3", 768},
+	}
+	for _, tt := range tests {
+		g, _ := ByName(tt.name)
+		if got := g.L2.Capacity() >> 10; got != tt.totalKB {
+			t.Errorf("%s capacity = %dKB, want %dKB", tt.name, got, tt.totalKB)
+		}
+	}
+}
+
+func TestTwoPartSplits(t *testing.T) {
+	// C1: 1344KB 7-way HR + 192KB 2-way LR; C2: 336+48; C3: 672+96.
+	tests := []struct {
+		name         string
+		hrKB, lrKB   int
+		hrWay, lrWay int
+	}{
+		{"C1", 1344, 192, 7, 2},
+		{"C2", 336, 48, 7, 2},
+		{"C3", 672, 96, 7, 2},
+	}
+	for _, tt := range tests {
+		g, _ := ByName(tt.name)
+		if g.L2.HRBytes>>10 != tt.hrKB || g.L2.LRBytes>>10 != tt.lrKB {
+			t.Errorf("%s split = %d+%dKB, want %d+%dKB",
+				tt.name, g.L2.HRBytes>>10, g.L2.LRBytes>>10, tt.hrKB, tt.lrKB)
+		}
+		if g.L2.HRWays != tt.hrWay || g.L2.LRWays != tt.lrWay {
+			t.Errorf("%s ways = %d/%d, want %d/%d",
+				tt.name, g.L2.HRWays, g.L2.LRWays, tt.hrWay, tt.lrWay)
+		}
+	}
+}
+
+func TestRegisterBonuses(t *testing.T) {
+	base := BaselineSRAM().SM.Registers
+	c2 := C2().SM.Registers
+	c3 := C3().SM.Registers
+	if base != 32768 {
+		t.Errorf("baseline registers = %d, want 32768", base)
+	}
+	if !(c2 > c3 && c3 > base) {
+		t.Errorf("register ordering violated: base=%d C3=%d C2=%d", base, c3, c2)
+	}
+	// C2 frees 3/4 of the SRAM L2 area: 288KB of SRAM bits -> 73728
+	// registers over 15 SMs, ~4915 per SM.
+	if got := c2 - base; got < 4000 || got > 6000 {
+		t.Errorf("C2 register bonus = %d, want ~4915", got)
+	}
+	// C3 frees half: ~3276 per SM (the Table 2 OCR shows "3644x" for
+	// C3's register column, consistent with ~36044).
+	if got := c3 - base; got < 2500 || got > 4000 {
+		t.Errorf("C3 register bonus = %d, want ~3276", got)
+	}
+	// C1 and the baselines get no bonus.
+	for _, name := range []string{"baseline-STT", "C1"} {
+		g, _ := ByName(name)
+		if g.SM.Registers != base {
+			t.Errorf("%s registers = %d, want %d", name, g.SM.Registers, base)
+		}
+	}
+}
+
+func TestRegisterBonusNonPositiveSaved(t *testing.T) {
+	// An STT L2 so large it eats all saved area yields no bonus.
+	if got := RegisterBonusPerSM(4 * BaseL2Bytes); got != 0 {
+		t.Errorf("bonus with zero saved area = %d, want 0", got)
+	}
+}
+
+func TestBankGeometriesDivideEvenly(t *testing.T) {
+	for _, g := range All() {
+		switch g.L2.Kind {
+		case L2TwoPart:
+			if g.L2.HRBytes%g.NumBanks != 0 || g.L2.LRBytes%g.NumBanks != 0 {
+				t.Errorf("%s: parts not divisible by %d banks", g.Name, g.NumBanks)
+			}
+		default:
+			if g.L2.TotalBytes%g.NumBanks != 0 {
+				t.Errorf("%s: capacity not divisible by %d banks", g.Name, g.NumBanks)
+			}
+		}
+	}
+}
+
+func TestNewBankKinds(t *testing.T) {
+	for _, g := range All() {
+		b := g.NewBank(g.NewDRAM())
+		switch g.L2.Kind {
+		case L2TwoPart:
+			if _, ok := b.(*core.TwoPartBank); !ok {
+				t.Errorf("%s: bank type %T, want TwoPartBank", g.Name, b)
+			}
+		default:
+			if _, ok := b.(*core.UniformBank); !ok {
+				t.Errorf("%s: bank type %T, want UniformBank", g.Name, b)
+			}
+		}
+		// Every bank starts functional.
+		if done, _ := b.Access(0, 0x1000, false); done <= 0 {
+			t.Errorf("%s: bank access returned %d", g.Name, done)
+		}
+	}
+}
+
+func TestSTTBanksLeakLessThanSRAM(t *testing.T) {
+	sram, _ := ByName("baseline-SRAM")
+	sb := sram.NewBank(sram.NewDRAM())
+	for _, name := range []string{"baseline-STT", "C1", "C2", "C3"} {
+		g, _ := ByName(name)
+		b := g.NewBank(g.NewDRAM())
+		if b.LeakageWatts() >= sb.LeakageWatts() {
+			t.Errorf("%s leakage %g >= SRAM %g", name, b.LeakageWatts(), sb.LeakageWatts())
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	s := FormatTable2()
+	for _, want := range []string{"baseline-SRAM", "C1", "C2", "C3", "1344KB", "192KB", "336KB", "672KB", "32768"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, s)
+		}
+	}
+	rows := Table2()
+	if len(rows) != 5 {
+		t.Errorf("Table2 rows = %d, want 5", len(rows))
+	}
+}
+
+func TestBaselineSMMatchesTable2(t *testing.T) {
+	g := BaselineSRAM()
+	if g.NumSMs != 15 || g.NumBanks != 6 || g.LineBytes != 256 {
+		t.Errorf("baseline shape = %d SMs, %d banks, %dB lines", g.NumSMs, g.NumBanks, g.LineBytes)
+	}
+	if g.SM.L1Bytes != 16<<10 || g.SM.L1Ways != 4 || g.SM.L1LineBytes != 128 {
+		t.Errorf("L1 = %dKB %d-way %dB", g.SM.L1Bytes>>10, g.SM.L1Ways, g.SM.L1LineBytes)
+	}
+	if g.ClockHz != 700e6 {
+		t.Errorf("clock = %g", g.ClockHz)
+	}
+}

@@ -1,0 +1,300 @@
+// Package core implements the paper's contribution: the two-part
+// (low-retention / high-retention) STT-RAM L2 cache bank for GPUs, with
+// its write-working-set monitor, swap buffers, retention counters,
+// refresh path, and sequential search selector — plus the two comparison
+// points the evaluation needs, a conventional single-technology bank in
+// SRAM (the baseline GPU) and in archival 10-year STT-RAM (the naive
+// "STT-RAM baseline").
+//
+// A Bank owns everything between "a request arrives at the bank at cycle
+// N" and "the requester can proceed at cycle M", including its private
+// DRAM channel (Table 2: each L2 bank has a point-to-point connection to
+// a dedicated memory controller).
+package core
+
+import (
+	"time"
+
+	"sttllc/internal/dram"
+	"sttllc/internal/stats"
+	"sttllc/internal/sttram"
+)
+
+// Part identifies which structure served an access.
+type Part int
+
+const (
+	PartNone Part = iota // miss (served by DRAM)
+	PartUniform
+	PartLR
+	PartHR
+)
+
+// String returns the part name.
+func (p Part) String() string {
+	switch p {
+	case PartUniform:
+		return "uniform"
+	case PartLR:
+		return "LR"
+	case PartHR:
+		return "HR"
+	default:
+		return "miss"
+	}
+}
+
+// Bank is the interface shared by all L2 bank organizations.
+type Bank interface {
+	// Access serves a read or write of the line containing addr,
+	// arriving at cycle now, and returns the cycle at which the
+	// requester may proceed and whether the access hit in the bank.
+	// Callers must present non-decreasing arrival times.
+	Access(now int64, addr uint64, write bool) (done int64, hit bool)
+	// Tick advances retention bookkeeping to cycle now. The simulator
+	// calls it at the retention-counter granularity; calling it more
+	// often is harmless.
+	Tick(now int64)
+	// Drain flushes dirty state at end of simulation (writebacks are
+	// charged to DRAM but not waited for).
+	Drain(now int64)
+	Stats() *BankStats
+	// ResetStats zeroes statistics and the energy ledger while keeping
+	// array contents and timing state — the warmup boundary.
+	ResetStats()
+	Energy() *Energy
+	// LeakageWatts returns the bank's static power (data + tag arrays
+	// and, for the two-part bank, counters and buffers).
+	LeakageWatts() float64
+	Reset()
+}
+
+// BankStats counts the events the experiments need.
+type BankStats struct {
+	Reads  uint64
+	Writes uint64
+
+	ReadHits  uint64
+	WriteHits uint64
+
+	// Per-part service counters (two-part bank only; the uniform bank
+	// reports everything as HR==0/LR==0 with Uniform implied).
+	LRReadHits   uint64
+	LRWriteHits  uint64
+	LRWriteFills uint64 // write misses allocated directly into LR
+	HRReadHits   uint64
+	HRWriteHits  uint64
+	HRWriteKept  uint64 // HR write hits below threshold (stayed in HR)
+	HRWriteFills uint64 // write misses allocated into HR (threshold > 1)
+
+	MigrationsToLR uint64 // HR->LR (threshold reached)
+	EvictionsToHR  uint64 // LR->HR (LR victim returned)
+
+	Refreshes          uint64 // LR lines refreshed near expiry
+	LRExpiryDrops      uint64 // clean LR lines invalidated at expiry (buffer full)
+	HRExpiries         uint64 // HR lines invalidated at retention expiry
+	OverflowWritebacks uint64 // dirty lines written back because a buffer was full
+
+	DRAMFills      uint64
+	DRAMWritebacks uint64
+
+	// Adaptive-threshold activity (extension; zero when static).
+	ThresholdRaises uint64
+	ThresholdLowers uint64
+
+	// RewriteIntervals is the Fig. 6 histogram: time between successive
+	// writes to the same LR-resident line, in microseconds.
+	RewriteIntervals *stats.Histogram
+}
+
+// L2Writes returns total writes arriving at the bank.
+func (s *BankStats) L2Writes() uint64 { return s.Writes }
+
+// ArrayWrites returns the number of physical data-array writes performed
+// (foreground writes plus migration, eviction, fill, and refresh writes).
+// Fig. 4's "write overhead" compares this across thresholds.
+func (s *BankStats) ArrayWrites() uint64 {
+	return s.LRWriteHits + s.LRWriteFills + s.HRWriteKept + s.HRWriteFills +
+		s.MigrationsToLR + s.EvictionsToHR + s.Refreshes + s.DRAMFills
+}
+
+// LRWriteShare returns the fraction of arriving writes served by the LR
+// part (write hits in LR plus write allocations into LR plus migrations
+// triggered by a write). This is Fig. 5's "LR write utilization".
+func (s *BankStats) LRWriteShare() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	lr := s.LRWriteHits + s.LRWriteFills + s.MigrationsToLR
+	return float64(lr) / float64(s.Writes)
+}
+
+// LRWrites returns the number of data writes performed in the LR part
+// (foreground write hits, write allocations, and migrated blocks).
+func (s *BankStats) LRWrites() uint64 {
+	return s.LRWriteHits + s.LRWriteFills + s.MigrationsToLR
+}
+
+// HRWrites returns the number of data writes performed in the HR part
+// (kept write hits, write allocations, returning LR victims, and line
+// fills from DRAM).
+func (s *BankStats) HRWrites() uint64 {
+	return s.HRWriteKept + s.HRWriteFills + s.EvictionsToHR + s.DRAMFills
+}
+
+// LRRewriteHitShare returns the fraction of write hits that found their
+// block already resident in the LR part. Low LR associativity bounces
+// frequently-written blocks back to HR between rewrites, which is what
+// the paper's Fig. 5 utilization metric penalizes.
+func (s *BankStats) LRRewriteHitShare() float64 {
+	if s.WriteHits == 0 {
+		return 0
+	}
+	return float64(s.LRWriteHits) / float64(s.WriteHits)
+}
+
+// HitRate returns the overall bank hit rate.
+func (s *BankStats) HitRate() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReadHits+s.WriteHits) / float64(total)
+}
+
+// rewriteIntervalEdgesUS are the Fig. 6 bucket bounds in microseconds:
+// ≤1µs, ≤5µs, ≤10µs, ≤1ms, ≤2.5ms, with >2.5ms as overflow.
+var rewriteIntervalEdgesUS = []float64{1, 5, 10, 1000, 2500}
+
+// NewRewriteHistogram returns a histogram with the paper's Fig. 6 bucket
+// edges (microseconds).
+func NewRewriteHistogram() *stats.Histogram {
+	return stats.NewHistogram(rewriteIntervalEdgesUS...)
+}
+
+// Energy is the bank's dynamic-energy ledger in joules, split by
+// component so the experiments can report breakdowns.
+type Energy struct {
+	TagAccess  float64 // SRAM tag probes
+	DataRead   float64 // data-array reads (both parts)
+	DataWrite  float64 // data-array writes (both parts)
+	Migration  float64 // HR->LR and LR->HR block movement
+	Refresh    float64 // LR refresh read+rewrite
+	Buffer     float64 // swap-buffer SRAM accesses
+	RCCounters float64 // retention-counter updates
+}
+
+// Total returns the summed dynamic energy.
+func (e *Energy) Total() float64 {
+	return e.TagAccess + e.DataRead + e.DataWrite + e.Migration +
+		e.Refresh + e.Buffer + e.RCCounters
+}
+
+// cyclesOf converts a duration to core cycles at clockHz, rounding up and
+// never below 1.
+func cyclesOf(d time.Duration, clockHz float64) int64 {
+	c := int64(float64(d) * clockHz / float64(time.Second))
+	if float64(c)*float64(time.Second)/clockHz < float64(d) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// usOf converts a cycle count to microseconds at clockHz.
+func usOf(cycles int64, clockHz float64) float64 {
+	return float64(cycles) / clockHz * 1e6
+}
+
+// tagEnergy returns the energy of one SRAM tag-array probe for a cache
+// with the given tag width.
+func tagEnergy(tagBits int) float64 {
+	return sttram.SRAMCell().ReadEnergyPerBit * float64(tagBits)
+}
+
+// rcEnergy is the energy of updating one small retention counter.
+const rcEnergy = 0.05e-12 // 0.05 pJ
+
+// pipelineCycles is the array cycle time: banks accept a new pipelined
+// access this often, independent of the access latency. Write pulses are
+// the exception — an STT-RAM write occupies its subarray for the whole
+// pulse, which is exactly the bandwidth problem the paper attacks.
+const pipelineCycles = 2
+
+// writeOccupancy returns how long a write blocks its array: the pipeline
+// slot plus the portion of the write latency that exceeds a read (the
+// write pulse). For SRAM (symmetric timing) this degenerates to the
+// pipeline cycle time.
+func writeOccupancy(readCy, writeCy int64) int64 {
+	occ := pipelineCycles + (writeCy - readCy)
+	if occ < pipelineCycles {
+		occ = pipelineCycles
+	}
+	return occ
+}
+
+// subArrays is the number of independently accessible subarrays per
+// data array: a write pulse occupies one subarray, not the whole bank.
+// The paper relies on this ("the HR part should be sufficiently banked to
+// enable migration of multiple data blocks").
+const subArrays = 4
+
+// ports tracks per-subarray availability of one data array.
+type ports [subArrays]int64
+
+// acquire reserves the subarray holding addr from cycle at for occ cycles
+// and returns when the access begins.
+func (p *ports) acquire(addr uint64, lineBytes int, at, occ int64) int64 {
+	i := (addr / uint64(lineBytes)) % subArrays
+	start := at
+	if p[i] > start {
+		start = p[i]
+	}
+	p[i] = start + occ
+	return start
+}
+
+// reset clears all subarray reservations.
+func (p *ports) reset() { *p = ports{} }
+
+// mshr tracks in-flight line fills so misses to the same line merge onto
+// one DRAM access instead of fetching it repeatedly.
+type mshr struct {
+	inflight map[uint64]int64 // line address -> fill completion cycle
+}
+
+func newMSHR() *mshr {
+	return &mshr{inflight: make(map[uint64]int64)}
+}
+
+// lookup returns the completion cycle of an in-flight fill for addr, if
+// any, pruning completed entries opportunistically.
+func (m *mshr) lookup(addr uint64, now int64) (int64, bool) {
+	done, ok := m.inflight[addr]
+	if !ok {
+		return 0, false
+	}
+	if done <= now {
+		delete(m.inflight, addr)
+		return 0, false
+	}
+	return done, true
+}
+
+// insert records a new in-flight fill.
+func (m *mshr) insert(addr uint64, done int64) {
+	m.inflight[addr] = done
+}
+
+// reset clears all entries.
+func (m *mshr) reset() {
+	m.inflight = make(map[uint64]int64)
+}
+
+// writeback issues a dirty-line writeback to DRAM.
+func writeback(mc *dram.Controller, now int64, addr uint64, s *BankStats) {
+	mc.Access(now, addr, true)
+	s.DRAMWritebacks++
+}

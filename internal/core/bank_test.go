@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPartsAcquireIndependentSubarrays(t *testing.T) {
+	var p ports
+	// Two addresses on different subarrays do not serialize.
+	a := p.acquire(0*256, 256, 10, 20)
+	b := p.acquire(1*256, 256, 10, 20)
+	if a != 10 || b != 10 {
+		t.Errorf("independent subarrays serialized: %d, %d", a, b)
+	}
+	// Same subarray (line 0 and line 0+subArrays) serializes.
+	c := p.acquire(uint64(subArrays)*256, 256, 10, 20)
+	if c != 30 {
+		t.Errorf("same-subarray access started at %d, want 30", c)
+	}
+}
+
+func TestPortsReset(t *testing.T) {
+	var p ports
+	p.acquire(0, 256, 0, 100)
+	p.reset()
+	if got := p.acquire(0, 256, 0, 10); got != 0 {
+		t.Errorf("reset ports should be free at cycle 0, got %d", got)
+	}
+}
+
+func TestPortsAcquireNeverBeforeRequest(t *testing.T) {
+	f := func(addrs []uint16, occRaw uint8) bool {
+		var p ports
+		occ := int64(occRaw%13) + 1
+		now := int64(0)
+		for _, a := range addrs {
+			now += int64(a % 5)
+			if start := p.acquire(uint64(a)*64, 64, now, occ); start < now {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSHRMergeAndExpiry(t *testing.T) {
+	m := newMSHR()
+	m.insert(0x1000, 500)
+	if done, ok := m.lookup(0x1000, 100); !ok || done != 500 {
+		t.Errorf("lookup = %d, %v; want 500, true", done, ok)
+	}
+	// After the fill completes the entry expires.
+	if _, ok := m.lookup(0x1000, 500); ok {
+		t.Error("completed fill should not merge")
+	}
+	// And it was pruned.
+	if len(m.inflight) != 0 {
+		t.Errorf("pruning failed: %d entries", len(m.inflight))
+	}
+	if _, ok := m.lookup(0x2000, 0); ok {
+		t.Error("unknown line should not merge")
+	}
+	m.insert(0x3000, 10)
+	m.reset()
+	if _, ok := m.lookup(0x3000, 0); ok {
+		t.Error("reset should clear entries")
+	}
+}
+
+func TestWriteOccupancy(t *testing.T) {
+	// SRAM-like symmetric timing: pipeline slot only.
+	if got := writeOccupancy(8, 8); got != pipelineCycles {
+		t.Errorf("symmetric write occupancy = %d, want %d", got, pipelineCycles)
+	}
+	// STT: pipeline + pulse.
+	if got := writeOccupancy(8, 30); got != pipelineCycles+22 {
+		t.Errorf("STT write occupancy = %d, want %d", got, pipelineCycles+22)
+	}
+	// Never below pipeline even for odd inputs.
+	if got := writeOccupancy(10, 4); got != pipelineCycles {
+		t.Errorf("clamped occupancy = %d, want %d", got, pipelineCycles)
+	}
+}
+
+func TestBankStatsPartWrites(t *testing.T) {
+	s := BankStats{
+		LRWriteHits: 5, LRWriteFills: 3, MigrationsToLR: 2,
+		HRWriteKept: 1, HRWriteFills: 4, EvictionsToHR: 6, DRAMFills: 7,
+		WriteHits: 10, HRWriteHits: 5,
+	}
+	if got := s.LRWrites(); got != 10 {
+		t.Errorf("LRWrites = %d, want 10", got)
+	}
+	if got := s.HRWrites(); got != 18 {
+		t.Errorf("HRWrites = %d, want 18", got)
+	}
+	if got := s.LRRewriteHitShare(); got != 0.5 {
+		t.Errorf("LRRewriteHitShare = %v, want 0.5", got)
+	}
+	var empty BankStats
+	if empty.LRRewriteHitShare() != 0 {
+		t.Error("empty rewrite share should be 0")
+	}
+}
+
+func TestRewriteHitShareRespondsToAssociativity(t *testing.T) {
+	// Direct-mapped LR bounces conflicting WWS blocks back to HR, so
+	// rewrites find them in LR less often than with a 4-way LR.
+	run := func(ways int) float64 {
+		b := newTestBank(func(c *TwoPartConfig) {
+			c.LRWays = ways
+		})
+		// Write a working set wider than one LR set repeatedly.
+		now := int64(0)
+		for round := 0; round < 40; round++ {
+			for i := 0; i < 8; i++ {
+				now += 50
+				// All map to LR set 0 when direct-mapped over 32
+				// sets (2KB/1way/64B): stride = 32*64 = 2KB.
+				b.Access(now, uint64(i)*2048, true)
+			}
+		}
+		return b.Stats().LRRewriteHitShare()
+	}
+	if dm, assoc := run(1), run(8); dm >= assoc {
+		t.Errorf("direct-mapped LR rewrite share (%v) should trail 8-way (%v)", dm, assoc)
+	}
+}
+
+func TestUsOf(t *testing.T) {
+	if got := usOf(700, 700e6); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("700 cycles at 700MHz = %vµs, want 1µs", got)
+	}
+}
+
+func TestCyclesOfRoundsUp(t *testing.T) {
+	// 1ns at 1.5GHz is 1.5 cycles and must round up to 2.
+	if got := cyclesOf(time.Nanosecond, 1.5e9); got != 2 {
+		t.Errorf("cyclesOf(1ns, 1.5GHz) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+// swapBuffer models one of the two small SRAM buffers between the LR and
+// HR parts (Fig. 7). A buffer entry holds one cache line in flight: a
+// migrating block, a returning LR victim, or a block being refreshed. The
+// entry occupies a slot until its background array write completes; if
+// every slot is occupied, the overflow policy applies (dirty lines are
+// forced to main memory — rare; the paper's worst case is bfs at ~1%
+// extra writebacks).
+type swapBuffer struct {
+	capacity int
+	pending  []int64 // completion cycles of in-flight drains
+	nextFree int64   // background port availability of the target array
+}
+
+func newSwapBuffer(capacity int) *swapBuffer {
+	if capacity <= 0 {
+		panic("core: swap buffer capacity must be positive")
+	}
+	return &swapBuffer{capacity: capacity}
+}
+
+// occupancy returns how many slots are still held at cycle now, pruning
+// completed drains.
+func (b *swapBuffer) occupancy(now int64) int {
+	live := b.pending[:0]
+	for _, done := range b.pending {
+		if done > now {
+			live = append(live, done)
+		}
+	}
+	b.pending = live
+	return len(b.pending)
+}
+
+// tryEnqueue reserves a slot at cycle now for an operation whose
+// background array write takes serviceCycles. It returns false when the
+// buffer is full. Used on the refresh path, where waiting would risk the
+// retention boundary — the paper instead forces a writeback to main
+// memory on buffer full.
+func (b *swapBuffer) tryEnqueue(now int64, serviceCycles int64) bool {
+	if b.occupancy(now) >= b.capacity {
+		return false
+	}
+	b.reserve(now, serviceCycles)
+	return true
+}
+
+// enqueue reserves a slot with backpressure: if the buffer is full at
+// cycle now, the caller stalls until the earliest in-flight drain
+// completes. It returns the cycle at which the slot was obtained, which
+// is when the foreground handoff can be acknowledged. This bounds the
+// sustained store throughput of the bank to the LR array's write
+// bandwidth rather than letting a 1-cycle handoff absorb unlimited write
+// streams.
+func (b *swapBuffer) enqueue(now int64, serviceCycles int64) int64 {
+	slotAt := now
+	if b.occupancy(now) >= b.capacity {
+		earliest := b.pending[0]
+		for _, d := range b.pending {
+			if d < earliest {
+				earliest = d
+			}
+		}
+		slotAt = earliest
+	}
+	b.reserve(slotAt, serviceCycles)
+	return slotAt
+}
+
+func (b *swapBuffer) reserve(now int64, serviceCycles int64) {
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	done := start + serviceCycles
+	b.nextFree = done
+	b.pending = append(b.pending, done)
+}
+
+// reset clears all slots.
+func (b *swapBuffer) reset() {
+	b.pending = b.pending[:0]
+	b.nextFree = 0
+}

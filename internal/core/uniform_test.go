@@ -1,0 +1,284 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sttllc/internal/dram"
+	"sttllc/internal/sttram"
+)
+
+func newUniform(cell sttram.Cell) *UniformBank {
+	mc := dram.New(8, 2048, dram.DefaultTiming())
+	return NewUniformBank(UniformConfig{
+		CapacityBytes: 8 << 10,
+		Ways:          4,
+		LineBytes:     64,
+		Cell:          cell,
+		ClockHz:       testClock,
+	}, mc)
+}
+
+func TestUniformMissFillHit(t *testing.T) {
+	b := newUniform(sttram.SRAMCell())
+	if _, hit := b.Access(0, 0x1000, false); hit {
+		t.Fatal("cold read should miss")
+	}
+	done, hit := b.Access(1000, 0x1000, false)
+	if !hit {
+		t.Fatal("second read should hit")
+	}
+	if lat := done - 1000; lat != b.cfg.TagLatencyCycles+b.readCycles {
+		t.Errorf("hit latency = %d, want %d", lat, b.cfg.TagLatencyCycles+b.readCycles)
+	}
+}
+
+func TestUniformWriteAllocatesDirty(t *testing.T) {
+	b := newUniform(sttram.SRAMCell())
+	b.Access(0, 0x40, true)
+	set, way, hit := b.arr.Probe(0x40)
+	if !hit || !b.arr.LineAt(set, way).Dirty {
+		t.Error("write miss should allocate a dirty line")
+	}
+	if b.stats.Writes != 1 || b.stats.WriteHits != 0 {
+		t.Errorf("stats = %+v", b.stats)
+	}
+}
+
+func TestUniformDirtyEvictionWritesBack(t *testing.T) {
+	b := newUniform(sttram.SRAMCell())
+	// 8KB/4way/64B = 32 sets; same-set stride is 2KB.
+	for i := 0; i < 5; i++ {
+		b.Access(int64(i*1000), uint64(i)*2048, true)
+	}
+	if b.stats.DRAMWritebacks == 0 {
+		t.Error("dirty conflict evictions must write back to DRAM")
+	}
+}
+
+func TestUniformSTTWritesSlowerThanSRAM(t *testing.T) {
+	sram := newUniform(sttram.SRAMCell())
+	stt := newUniform(sttram.ArchivalCell())
+	for _, b := range []*UniformBank{sram, stt} {
+		b.Access(0, 0x40, false) // prefill
+	}
+	dS, _ := sram.Access(10000, 0x40, true)
+	dT, _ := stt.Access(10000, 0x40, true)
+	if dT-10000 <= dS-10000 {
+		t.Errorf("archival STT write hit (%d cy) should be slower than SRAM (%d cy)",
+			dT-10000, dS-10000)
+	}
+}
+
+func TestUniformWriteOccupiesBank(t *testing.T) {
+	b := newUniform(sttram.ArchivalCell())
+	b.Access(0, 0x40, false)
+	b.Access(10000, 0x40, true) // slow archival write
+	// A read arriving right behind queues behind the write.
+	done, _ := b.Access(10001, 0x40, false)
+	if lat := done - 10001; lat <= b.cfg.TagLatencyCycles+b.readCycles {
+		t.Errorf("read behind a slow write should queue, latency=%d", lat)
+	}
+}
+
+func TestUniformRewriteIntervalsTracked(t *testing.T) {
+	b := newUniform(sttram.SRAMCell())
+	b.Access(0, 0x40, true)
+	b.Access(3000, 0x40, true) // 3µs rewrite
+	if b.stats.RewriteIntervals.N != 1 {
+		t.Errorf("rewrite samples = %d, want 1", b.stats.RewriteIntervals.N)
+	}
+}
+
+func TestUniformDrainAndReset(t *testing.T) {
+	b := newUniform(sttram.SRAMCell())
+	b.Access(0, 0x40, true)
+	b.Drain(100)
+	if b.stats.DRAMWritebacks != 1 {
+		t.Errorf("Drain writebacks = %d, want 1", b.stats.DRAMWritebacks)
+	}
+	b.Reset()
+	if b.stats.Writes != 0 || b.arr.ValidLines() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestUniformLeakageSRAMvsSTT(t *testing.T) {
+	sram := newUniform(sttram.SRAMCell())
+	stt := newUniform(sttram.ArchivalCell())
+	if stt.LeakageWatts() >= sram.LeakageWatts()/5 {
+		t.Errorf("STT leakage (%g) should be far below SRAM (%g)",
+			stt.LeakageWatts(), sram.LeakageWatts())
+	}
+}
+
+func TestUniformTickNoop(t *testing.T) {
+	b := newUniform(sttram.SRAMCell())
+	b.Access(0, 0x40, true)
+	b.Tick(1 << 40)
+	if _, _, hit := b.arr.Probe(0x40); !hit {
+		t.Error("uniform bank must not expire lines")
+	}
+}
+
+func TestUniformPanicsOnZeroClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero clock did not panic")
+		}
+	}()
+	NewUniformBank(UniformConfig{CapacityBytes: 1024, Ways: 2, LineBytes: 64, Cell: sttram.SRAMCell()}, nil)
+}
+
+func TestTwoPartPanicsOnZeroClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero clock did not panic")
+		}
+	}()
+	NewTwoPartBank(TwoPartConfig{
+		LRBytes: 1024, LRWays: 2, LRCell: sttram.LRCell(),
+		HRBytes: 4096, HRWays: 4, HRCell: sttram.HRCell(),
+		LineBytes: 64,
+	}, nil)
+}
+
+func TestSwapBuffer(t *testing.T) {
+	b := newSwapBuffer(2)
+	if !b.tryEnqueue(0, 10) || !b.tryEnqueue(0, 10) {
+		t.Fatal("two slots should accept two entries")
+	}
+	if b.tryEnqueue(0, 10) {
+		t.Fatal("third entry at the same cycle must be rejected")
+	}
+	// After the drains complete, slots free up.
+	if !b.tryEnqueue(100, 10) {
+		t.Error("slots should free after drains complete")
+	}
+	if b.occupancy(200) != 0 {
+		t.Error("all drains done by cycle 200")
+	}
+	b.reset()
+	if b.occupancy(0) != 0 {
+		t.Error("reset should clear slots")
+	}
+}
+
+func TestSwapBufferPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	newSwapBuffer(0)
+}
+
+func TestCyclesOf(t *testing.T) {
+	// time.Duration is integer nanoseconds, so the 14.3ns anchor is
+	// stored as 14ns: 14 cycles at 1GHz, 10 (round up from 9.8) at
+	// 700MHz.
+	if got := cyclesOf(14300*time.Nanosecond/1000, 1e9); got != 14 {
+		t.Errorf("cyclesOf(14ns, 1GHz) = %d, want 14", got)
+	}
+	if got := cyclesOf(14300*time.Nanosecond/1000, 700e6); got != 10 {
+		t.Errorf("cyclesOf(14ns, 700MHz) = %d, want 10", got)
+	}
+	if got := cyclesOf(0, 1e9); got != 1 {
+		t.Errorf("cyclesOf(0) = %d, want minimum 1", got)
+	}
+}
+
+func TestUniformAccessors(t *testing.T) {
+	b := newUniform(sttram.SRAMCell())
+	b.Access(0, 0x40, true)
+	if b.Array() == nil || b.Array().ValidLines() != 1 {
+		t.Error("Array accessor broken")
+	}
+	if b.Stats().Writes != 1 {
+		t.Error("Stats accessor broken")
+	}
+	if b.Energy().Total() <= 0 {
+		t.Error("Energy accessor broken")
+	}
+	b.Tick(1 << 30) // no-op, but exercised
+	b.ResetStats()
+	if b.Stats().Writes != 0 || b.Energy().Total() != 0 {
+		t.Error("ResetStats incomplete")
+	}
+	if b.Array().ValidLines() != 1 {
+		t.Error("ResetStats must keep cache contents")
+	}
+	// The warm line still hits after a stats reset.
+	if _, hit := b.Access(100, 0x40, false); !hit {
+		t.Error("warm line lost across ResetStats")
+	}
+}
+
+func TestTwoPartResetStatsKeepsContents(t *testing.T) {
+	b := newTestBank()
+	b.Access(0, 0x40, true)
+	b.Access(10, 0x2000, false)
+	if b.LRArray().ValidLines() == 0 || b.HRArray().ValidLines() == 0 {
+		t.Fatal("setup: both parts should hold lines")
+	}
+	b.ResetStats()
+	if b.Stats().Writes != 0 || b.Energy().Total() != 0 {
+		t.Error("ResetStats incomplete")
+	}
+	if _, hit := b.Access(100, 0x40, true); !hit {
+		t.Error("LR line lost across ResetStats")
+	}
+	if _, hit := b.Access(200, 0x2000, false); !hit {
+		t.Error("HR line lost across ResetStats")
+	}
+}
+
+func TestBankStatsHelpers(t *testing.T) {
+	s := BankStats{Reads: 6, Writes: 4, ReadHits: 3, WriteHits: 2}
+	if s.L2Writes() != 4 {
+		t.Errorf("L2Writes = %d", s.L2Writes())
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+}
+
+// TestUniformNoDirtyDataEverLost mirrors the two-part integrity
+// property for the conventional banks: every written line must reach
+// DRAM by drain time.
+func TestUniformNoDirtyDataEverLost(t *testing.T) {
+	f := func(ops []uint16) bool {
+		mc := dram.New(8, 2048, dram.DefaultTiming())
+		mc.LogWrites = true
+		b := NewUniformBank(UniformConfig{
+			CapacityBytes: 4 << 10, Ways: 4, LineBytes: 64,
+			Cell: sttram.SRAMCell(), ClockHz: testClock,
+		}, mc)
+		written := map[uint64]bool{}
+		now := int64(0)
+		for _, op := range ops {
+			now += int64(op%91) + 1
+			addr := uint64(op&0x07FF) << 6
+			write := op&0x8000 != 0
+			b.Access(now, addr, write)
+			if write {
+				written[addr] = true
+			}
+		}
+		b.Drain(now + 1)
+		reached := map[uint64]bool{}
+		for _, a := range mc.WriteLog {
+			reached[a] = true
+		}
+		for a := range written {
+			if !reached[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package dram models the off-chip memory behind the L2: one controller
+// per L2 bank (Table 2: 6 memory controllers, each with a point-to-point
+// link to its bank), each with a handful of DRAM banks and open-row
+// timing. The model captures the two properties the evaluation depends
+// on: L2 misses are expensive (hundreds of cycles), and miss bandwidth is
+// finite, so configurations that shrink miss rates (bigger L2) gain IPC.
+package dram
+
+import "math/bits"
+
+// Timing parameters in core cycles (700MHz domain). Derived from GDDR5
+// latencies seen by the core: ~100 cycles for an open-row access, about
+// double after a row miss (precharge + activate).
+type Timing struct {
+	RowHitLatency  int64
+	RowMissLatency int64
+	// BurstGap is the minimum spacing between successive data bursts on
+	// the channel (bandwidth limit: one 256B line per BurstGap cycles).
+	BurstGap int64
+}
+
+// DefaultTiming returns the GTX480-like timing used by the evaluation.
+func DefaultTiming() Timing {
+	return Timing{RowHitLatency: 100, RowMissLatency: 220, BurstGap: 6}
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	StallCyc  uint64 // cycles requests waited for the channel
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(a)
+}
+
+// Controller is one memory channel: a bank group with open-row state and
+// a shared data bus.
+type Controller struct {
+	Timing   Timing
+	RowBytes int
+	banks    []row
+	bankMask uint64
+	rowShift uint
+	nextFree int64 // channel bus availability
+	Stats    Stats
+
+	// LogWrites, when set before use, records every written address in
+	// WriteLog. Intended for data-integrity tests: the L2 must be able
+	// to prove that every dirty line it ever held reached main memory.
+	LogWrites bool
+	WriteLog  []uint64
+}
+
+type row struct {
+	open bool
+	row  uint64
+}
+
+// New builds a controller with the given number of DRAM banks (power of
+// two) and row size in bytes (power of two).
+func New(banks, rowBytes int, t Timing) *Controller {
+	if banks <= 0 || bits.OnesCount(uint(banks)) != 1 {
+		panic("dram: banks must be a positive power of two")
+	}
+	if rowBytes <= 0 || bits.OnesCount(uint(rowBytes)) != 1 {
+		panic("dram: row size must be a positive power of two")
+	}
+	return &Controller{
+		Timing:   t,
+		RowBytes: rowBytes,
+		banks:    make([]row, banks),
+		bankMask: uint64(banks - 1),
+		rowShift: uint(bits.TrailingZeros(uint(rowBytes))),
+	}
+}
+
+// Access performs a read or write of the line at addr arriving at cycle
+// now and returns the completion cycle. Consecutive accesses serialize on
+// the channel bus; same-row accesses to an open bank are faster.
+//
+// Writes model a write-queue controller: they consume a channel burst
+// slot but are drained in row-batches later, so they neither pay nor
+// disturb the open-row state that the read stream depends on. Without
+// this, every writeback would thrash the row buffers and configurations
+// with smaller caches (more evictions) would be doubly punished.
+func (c *Controller) Access(now int64, addr uint64, write bool) int64 {
+	if write {
+		start := now
+		if c.nextFree > start {
+			c.Stats.StallCyc += uint64(c.nextFree - start)
+			start = c.nextFree
+		}
+		c.nextFree = start + c.Timing.BurstGap
+		c.Stats.Writes++
+		if c.LogWrites {
+			c.WriteLog = append(c.WriteLog, addr)
+		}
+		return start + c.Timing.RowHitLatency
+	}
+	rowAddr := addr >> c.rowShift
+	bank := &c.banks[rowAddr&c.bankMask]
+	rowID := rowAddr >> uint(bits.TrailingZeros(uint(len(c.banks))))
+
+	lat := c.Timing.RowMissLatency
+	if bank.open && bank.row == rowID {
+		lat = c.Timing.RowHitLatency
+		c.Stats.RowHits++
+	} else {
+		c.Stats.RowMisses++
+		bank.open = true
+		bank.row = rowID
+	}
+
+	start := now
+	if c.nextFree > start {
+		c.Stats.StallCyc += uint64(c.nextFree - start)
+		start = c.nextFree
+	}
+	c.nextFree = start + c.Timing.BurstGap
+
+	if write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+	}
+	return start + lat
+}
+
+// Reset clears bank state, channel state, and statistics.
+func (c *Controller) Reset() {
+	for i := range c.banks {
+		c.banks[i] = row{}
+	}
+	c.nextFree = 0
+	c.Stats = Stats{}
+	c.WriteLog = nil
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sttllc/internal/config"
+	"sttllc/internal/core"
+	"sttllc/internal/sim"
+	"sttllc/internal/stats"
+	"sttllc/internal/workloads"
+)
+
+// ---------------------------------------------------------------------
+// Figure 3: inter- and intra-set write variation (COV) on the baseline
+// SRAM L2, per benchmark.
+// ---------------------------------------------------------------------
+
+// Fig3Row is one benchmark's write-variation measurement.
+type Fig3Row struct {
+	Benchmark   string
+	InterSetCOV float64
+	IntraSetCOV float64
+	L2Writes    uint64
+}
+
+// Fig3 measures write variation across and within L2 sets of the SRAM
+// baseline for every benchmark.
+func Fig3(p Params) []Fig3Row {
+	cfg := config.BaselineSRAM()
+	rows := make([]Fig3Row, len(p.specs()))
+	forEachSpec(p, func(i int, spec workloads.Spec) {
+		s := sim.New(cfg, spec, sim.Options{
+			EnableWriteVariation: true,
+			MaxCycles:            p.MaxCycles,
+		})
+		s.Run()
+		var perSet []float64
+		var perSetCOVs []float64
+		var writes uint64
+		for _, b := range s.Banks() {
+			ub := b.(*core.UniformBank)
+			wv := ub.Array().WriteVar
+			perSet = append(perSet, wv.PerSetTotals()...)
+			perSetCOVs = append(perSetCOVs, wv.PerSetCOVs()...)
+			writes += wv.TotalWrites()
+		}
+		rows[i] = Fig3Row{
+			Benchmark:   spec.Name,
+			InterSetCOV: stats.COV(perSet),
+			IntraSetCOV: stats.Mean(perSetCOVs),
+			L2Writes:    writes,
+		}
+	})
+	return rows
+}
+
+// FormatFig3 renders Figure 3 as text (COVs as percentages).
+func FormatFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: inter- and intra-set write variation (COV) on baseline SRAM L2\n")
+	b.WriteString(header("Benchmark", "InterSet", "IntraSet", "L2 writes"))
+	var inter, intra []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %11.0f%% %11.0f%% %12d\n",
+			r.Benchmark, r.InterSetCOV*100, r.IntraSetCOV*100, r.L2Writes)
+		inter = append(inter, r.InterSetCOV)
+		intra = append(intra, r.IntraSetCOV)
+	}
+	fmt.Fprintf(&b, "%-14s %11.0f%% %11.0f%%\n", "Mean",
+		stats.Mean(inter)*100, stats.Mean(intra)*100)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: HR write-threshold sweep on the proposed cache (C1
+// geometry): LR/HR write ratio and total write overhead, normalized to
+// threshold 1.
+// ---------------------------------------------------------------------
+
+// Fig4Row is one (benchmark, threshold) measurement.
+type Fig4Row struct {
+	Benchmark string
+	Threshold uint8
+	// LRHRRatio is (writes served by LR) / (writes served by HR),
+	// normalized to the TH=1 run of the same benchmark.
+	LRHRRatio float64
+	// WriteOverhead is total physical array writes normalized to TH=1.
+	WriteOverhead float64
+}
+
+// Fig4Thresholds are the paper's sweep points.
+var Fig4Thresholds = []uint8{1, 3, 7, 15}
+
+// Fig4 sweeps the migration write threshold.
+func Fig4(p Params, thresholds []uint8) []Fig4Row {
+	if len(thresholds) == 0 {
+		thresholds = Fig4Thresholds
+	}
+	rows := make([]Fig4Row, len(p.specs())*len(thresholds))
+	forEachSpec(p, func(si int, spec workloads.Spec) {
+		type meas struct {
+			ratio  float64
+			writes float64
+		}
+		ms := make([]meas, 0, len(thresholds))
+		for _, th := range thresholds {
+			cfg := config.C1()
+			cfg.L2.WriteThreshold = th
+			r := run(cfg, spec, p)
+			lr := float64(r.Bank.LRWrites())
+			hr := float64(r.Bank.HRWrites())
+			ratio := lr // all-LR degenerate case
+			if hr > 0 {
+				ratio = lr / hr
+			}
+			ms = append(ms, meas{ratio: ratio, writes: float64(r.Bank.ArrayWrites())})
+		}
+		base := ms[0]
+		for i, th := range thresholds {
+			row := Fig4Row{Benchmark: spec.Name, Threshold: th}
+			if base.ratio > 0 {
+				row.LRHRRatio = ms[i].ratio / base.ratio
+			}
+			if base.writes > 0 {
+				row.WriteOverhead = ms[i].writes / base.writes
+			}
+			rows[si*len(thresholds)+i] = row
+		}
+	})
+	return rows
+}
+
+// FormatFig4 renders the threshold sweep.
+func FormatFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: write-threshold sweep (normalized to TH1)\n")
+	b.WriteString(header("Benchmark", "TH", "LR/HR", "WriteOvhd"))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12d %12.3f %12.3f\n",
+			r.Benchmark, r.Threshold, r.LRHRRatio, r.WriteOverhead)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: LR associativity sweep: write utilization of the LR part
+// normalized to a fully-associative LR.
+// ---------------------------------------------------------------------
+
+// Fig5Row is one (benchmark, associativity) measurement.
+type Fig5Row struct {
+	Benchmark string
+	Ways      int // 0 means fully associative
+	// Utilization is the LR write share normalized to the
+	// fully-associative LR of the same benchmark.
+	Utilization float64
+}
+
+// Fig5Ways are the paper's sweep points (0 = fully associative
+// reference).
+var Fig5Ways = []int{1, 2, 4, 8, 16}
+
+// Fig5 sweeps LR associativity against a fully-associative reference.
+func Fig5(p Params, ways []int) []Fig5Row {
+	if len(ways) == 0 {
+		ways = Fig5Ways
+	}
+	rows := make([]Fig5Row, len(p.specs())*len(ways))
+	forEachSpec(p, func(si int, spec workloads.Spec) {
+		ref := lrShareWithWays(spec, 0, p)
+		for i, w := range ways {
+			share := lrShareWithWays(spec, w, p)
+			u := 0.0
+			if ref > 0 {
+				u = share / ref
+			}
+			rows[si*len(ways)+i] = Fig5Row{Benchmark: spec.Name, Ways: w, Utilization: u}
+		}
+	})
+	return rows
+}
+
+func lrShareWithWays(spec workloads.Spec, ways int, p Params) float64 {
+	cfg := config.C1()
+	if ways == 0 {
+		// Fully associative: one set holding every LR line per bank.
+		cfg.L2.LRWays = cfg.L2.LRBytes / cfg.NumBanks / cfg.LineBytes
+	} else {
+		cfg.L2.LRWays = ways
+	}
+	r := run(cfg, spec, p)
+	// Utilization: how often a rewrite finds its block still resident
+	// in the LR part. Conflict evictions in low-associativity LR
+	// organizations bounce WWS blocks back to HR between rewrites.
+	return r.Bank.LRRewriteHitShare()
+}
+
+// FormatFig5 renders the associativity sweep.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: LR write utilization vs associativity (normalized to fully-associative)\n")
+	b.WriteString(header("Benchmark", "Ways", "Utilization"))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12d %12.3f\n", r.Benchmark, r.Ways, r.Utilization)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: distribution of rewrite intervals in the LR part.
+// ---------------------------------------------------------------------
+
+// Fig6Row is one benchmark's rewrite-interval distribution: fractions
+// for the buckets <=1µs, <=5µs, <=10µs, <=1ms, <=2.5ms, >2.5ms.
+type Fig6Row struct {
+	Benchmark string
+	Fractions []float64
+	Samples   uint64
+}
+
+// Fig6BucketLabels name the histogram columns.
+var Fig6BucketLabels = []string{"<=1us", "<=5us", "<=10us", "<=1ms", "<=2.5ms", ">2.5ms"}
+
+// Fig6 measures LR rewrite intervals under C1.
+func Fig6(p Params) []Fig6Row {
+	cfg := config.C1()
+	rows := make([]Fig6Row, len(p.specs()))
+	forEachSpec(p, func(i int, spec workloads.Spec) {
+		r := run(cfg, spec, p)
+		rows[i] = Fig6Row{
+			Benchmark: spec.Name,
+			Fractions: r.Bank.RewriteIntervals.Fractions(),
+			Samples:   r.Bank.RewriteIntervals.N,
+		}
+	})
+	return rows
+}
+
+// FormatFig6 renders the rewrite-interval distribution.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: LR rewrite-interval distribution\n")
+	cols := append([]string{"Benchmark"}, Fig6BucketLabels...)
+	b.WriteString(header(cols...))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Benchmark)
+		for _, f := range r.Fractions {
+			fmt.Fprintf(&b, " %11.1f%%", f*100)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

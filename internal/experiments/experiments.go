@@ -1,0 +1,126 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness runs the simulator over the benchmark
+// suite with the relevant parameter sweep, returns typed rows, and can
+// render itself as a text table whose rows/series match what the paper
+// plots. EXPERIMENTS.md records the measured values next to the paper's.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"sttllc/internal/config"
+	"sttllc/internal/sim"
+	"sttllc/internal/workloads"
+)
+
+// Params tunes how heavy the experiment runs are. The zero value means
+// "paper scale": the full suite at full per-warp instruction counts.
+type Params struct {
+	// Scale multiplies per-warp instruction counts (0 = 1.0).
+	Scale float64
+	// WarpsPerSM overrides the per-benchmark warp job count (0 = spec).
+	WarpsPerSM int
+	// Benchmarks restricts the suite (nil = all).
+	Benchmarks []string
+	// MaxCycles bounds each run (0 = none).
+	MaxCycles int64
+	// Parallel bounds concurrent benchmark evaluations (0 = number of
+	// CPUs). Each benchmark's runs stay sequential internally, so
+	// results are deterministic regardless of the setting.
+	Parallel int
+}
+
+func (p Params) scale() float64 {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+// specs resolves the benchmark list with scaling applied.
+func (p Params) specs() []workloads.Spec {
+	var out []workloads.Spec
+	if p.Benchmarks == nil {
+		out = workloads.All()
+	} else {
+		for _, name := range p.Benchmarks {
+			s, ok := workloads.ByName(name)
+			if !ok {
+				panic(fmt.Sprintf("experiments: unknown benchmark %q", name))
+			}
+			out = append(out, s)
+		}
+	}
+	for i := range out {
+		out[i] = out[i].Scale(p.scale())
+		if p.WarpsPerSM > 0 {
+			out[i].WarpsPerSM = p.WarpsPerSM
+		}
+	}
+	return out
+}
+
+func (p Params) opts() sim.Options {
+	return sim.Options{MaxCycles: p.MaxCycles}
+}
+
+// run executes one configuration for one spec.
+func run(cfg config.GPUConfig, spec workloads.Spec, p Params) sim.Result {
+	return sim.RunOne(cfg, spec, p.opts())
+}
+
+// forEachSpec evaluates fn once per benchmark, fanning benchmarks out
+// across a bounded worker pool. fn receives the spec's index so callers
+// can deposit results deterministically; the per-benchmark work inside
+// fn must not share mutable state across indices.
+func forEachSpec(p Params, fn func(i int, spec workloads.Spec)) {
+	specs := p.specs()
+	workers := p.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, spec := range specs {
+			fn(i, spec)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i, specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// header renders a fixed-width table header line plus separator.
+func header(cols ...string) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i == 0 {
+			fmt.Fprintf(&b, "%-14s", c)
+		} else {
+			fmt.Fprintf(&b, " %12s", c)
+		}
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 14+13*(len(cols)-1)))
+	b.WriteByte('\n')
+	return b.String()
+}

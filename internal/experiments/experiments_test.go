@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns parameters that keep experiment tests fast: a few
+// benchmarks, short warps.
+func tiny(benchmarks ...string) Params {
+	return Params{Scale: 0.04, WarpsPerSM: 6, Benchmarks: benchmarks}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	if p.scale() != 1 {
+		t.Errorf("default scale = %v, want 1", p.scale())
+	}
+	if got := len(p.specs()); got != 20 {
+		t.Errorf("default suite = %d, want 20", got)
+	}
+}
+
+func TestParamsSelection(t *testing.T) {
+	p := tiny("bfs", "stencil")
+	specs := p.specs()
+	if len(specs) != 2 || specs[0].Name != "bfs" || specs[1].Name != "stencil" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[0].WarpsPerSM != 6 {
+		t.Errorf("WarpsPerSM override not applied: %d", specs[0].WarpsPerSM)
+	}
+}
+
+func TestParamsUnknownBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown benchmark did not panic")
+		}
+	}()
+	Params{Benchmarks: []string{"nope"}}.specs()
+}
+
+func TestFig3(t *testing.T) {
+	rows := Fig3(tiny("bfs", "stencil"))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig3Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		if r.L2Writes == 0 {
+			t.Errorf("%s: no L2 writes recorded", r.Benchmark)
+		}
+		if r.InterSetCOV < 0 || r.IntraSetCOV < 0 {
+			t.Errorf("%s: negative COV", r.Benchmark)
+		}
+	}
+	// The paper's key contrast: skewed writers (bfs, hot 0.8) show far
+	// higher inter-set variation than uniform writers (stencil, 0.05).
+	if byName["bfs"].InterSetCOV <= byName["stencil"].InterSetCOV {
+		t.Errorf("bfs inter-set COV (%v) should exceed stencil's (%v)",
+			byName["bfs"].InterSetCOV, byName["stencil"].InterSetCOV)
+	}
+	out := FormatFig3(rows)
+	for _, want := range []string{"bfs", "stencil", "Mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatFig3 missing %q", want)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	rows := Fig4(tiny("bfs"), []uint8{1, 7})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Threshold != 1 || rows[0].LRHRRatio != 1 || rows[0].WriteOverhead != 1 {
+		t.Errorf("TH1 row must be the normalization anchor: %+v", rows[0])
+	}
+	// Higher thresholds keep more writes in HR: the LR/HR ratio drops.
+	if rows[1].LRHRRatio >= 1 {
+		t.Errorf("TH7 LR/HR ratio = %v, want < 1", rows[1].LRHRRatio)
+	}
+	if !strings.Contains(FormatFig4(rows), "TH") {
+		t.Error("FormatFig4 missing header")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	rows := Fig5(tiny("bfs"), []int{1, 2})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Utilization <= 0 || r.Utilization > 1.3 {
+			t.Errorf("utilization out of range: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatFig5(rows), "Ways") {
+		t.Error("FormatFig5 missing header")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	rows := Fig6(tiny("bfs"))
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Samples == 0 {
+		t.Fatal("no rewrite intervals sampled")
+	}
+	if len(r.Fractions) != len(Fig6BucketLabels) {
+		t.Fatalf("fraction count %d != labels %d", len(r.Fractions), len(Fig6BucketLabels))
+	}
+	sum := 0.0
+	for _, f := range r.Fractions {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if !strings.Contains(FormatFig6(rows), "<=10us") {
+		t.Error("FormatFig6 missing bucket labels")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	res := Fig8(tiny("hotspot", "nw"))
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, cfg := range Fig8Configs {
+		if res.GmeanSpeedup[cfg] <= 0 {
+			t.Errorf("missing gmean speedup for %s", cfg)
+		}
+		if res.MeanDynPower[cfg] <= 0 || res.MeanTotalPower[cfg] <= 0 {
+			t.Errorf("missing power means for %s", cfg)
+		}
+	}
+	for _, r := range res.Rows {
+		for _, cfg := range Fig8Configs {
+			if r.Speedup[cfg] <= 0 {
+				t.Errorf("%s/%s: speedup missing", r.Benchmark, cfg)
+			}
+		}
+		if r.BaseIPC <= 0 || r.BaseTotPowerW <= 0 {
+			t.Errorf("%s: missing baseline reference", r.Benchmark)
+		}
+	}
+	for _, render := range []string{FormatFig8a(res), FormatFig8b(res), FormatFig8c(res)} {
+		if !strings.Contains(render, "C1") || !strings.Contains(render, "hotspot") {
+			t.Error("Fig8 rendering incomplete")
+		}
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rows := Ablation(tiny("bfs"), []string{"parallel-search", "no-migration"})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 || r.DynPower <= 0 {
+			t.Errorf("bad ablation row: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatAblation(rows), "parallel-search") {
+		t.Error("FormatAblation missing variant")
+	}
+}
+
+func TestAblationUnknownVariantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown variant did not panic")
+		}
+	}()
+	ablationConfig("bogus")
+}
+
+func TestHeaderLayout(t *testing.T) {
+	h := header("A", "B")
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("header lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "A") || !strings.Contains(lines[0], "B") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	report := MarkdownReport(tiny("bfs", "hotspot"))
+	for _, want := range []string{
+		"# STT-RAM GPU LLC",
+		"## Table 1", "## Table 2",
+		"## Figure 3", "## Figure 4", "## Figure 5", "## Figure 6", "## Figure 8",
+		"## Ablations", "## Reliability",
+		"gmean speedup", "| bfs |",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Valid Markdown tables: every table row has balanced pipes.
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "|") && !strings.HasSuffix(line, "|") {
+			t.Errorf("unterminated table row: %q", line)
+		}
+	}
+}
+
+func TestMdTable(t *testing.T) {
+	got := mdTable([]string{"a", "b"}, [][]string{{"1", "2"}})
+	want := "| a | b |\n| --- | --- |\n| 1 | 2 |\n"
+	if got != want {
+		t.Errorf("mdTable = %q, want %q", got, want)
+	}
+}
+
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	serial := tiny("bfs", "hotspot", "nw")
+	serial.Parallel = 1
+	parallel := tiny("bfs", "hotspot", "nw")
+	parallel.Parallel = 4
+
+	a := Fig8(serial)
+	b := Fig8(parallel)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.Benchmark != rb.Benchmark {
+			t.Fatalf("row %d order differs: %s vs %s", i, ra.Benchmark, rb.Benchmark)
+		}
+		for _, cfg := range Fig8Configs {
+			if ra.Speedup[cfg] != rb.Speedup[cfg] {
+				t.Errorf("%s/%s speedup differs: %v vs %v",
+					ra.Benchmark, cfg, ra.Speedup[cfg], rb.Speedup[cfg])
+			}
+			if ra.TotalPower[cfg] != rb.TotalPower[cfg] {
+				t.Errorf("%s/%s power differs", ra.Benchmark, cfg)
+			}
+		}
+	}
+	for _, cfg := range Fig8Configs {
+		if a.GmeanSpeedup[cfg] != b.GmeanSpeedup[cfg] {
+			t.Errorf("gmean differs for %s", cfg)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sttllc/internal/config"
+	"sttllc/internal/power"
+	"sttllc/internal/workloads"
+)
+
+// PowerRow is one benchmark's per-component dynamic-energy shares under
+// one configuration, plus the leakage/dynamic split.
+type PowerRow struct {
+	Benchmark string
+	Config    string
+	Shares    map[power.Component]float64
+	DynamicW  float64
+	LeakageW  float64
+	TotalW    float64
+}
+
+// PowerBreakdown runs every benchmark on the named configuration and
+// reports where the L2's dynamic energy goes — an extension beyond the
+// paper's aggregate Fig. 8b/8c that makes the design's costs visible
+// (migration traffic, refresh, buffers, counters).
+func PowerBreakdown(p Params, cfgName string) []PowerRow {
+	cfg, ok := config.ByName(cfgName)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown configuration %q", cfgName))
+	}
+	rows := make([]PowerRow, len(p.specs()))
+	forEachSpec(p, func(i int, spec workloads.Spec) {
+		r := run(cfg, spec, p)
+		row := PowerRow{
+			Benchmark: spec.Name,
+			Config:    cfgName,
+			Shares:    map[power.Component]float64{},
+			DynamicW:  r.Power.DynamicW(),
+			LeakageW:  r.Power.LeakageW,
+			TotalW:    r.Power.TotalW(),
+		}
+		for _, c := range power.Components() {
+			row.Shares[c] = r.Power.Share(c)
+		}
+		rows[i] = row
+	})
+	return rows
+}
+
+// FormatPowerBreakdown renders the component-share matrix.
+func FormatPowerBreakdown(rows []PowerRow) string {
+	var b strings.Builder
+	if len(rows) == 0 {
+		return "power breakdown: no rows\n"
+	}
+	fmt.Fprintf(&b, "L2 dynamic-energy breakdown (%s)\n", rows[0].Config)
+	comps := power.Components()
+	fmt.Fprintf(&b, "%-14s", "Benchmark")
+	for _, c := range comps {
+		fmt.Fprintf(&b, " %11s", c)
+	}
+	fmt.Fprintf(&b, " %10s %10s\n", "dyn(W)", "total(W)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Benchmark)
+		for _, c := range comps {
+			fmt.Fprintf(&b, " %10.1f%%", r.Shares[c]*100)
+		}
+		fmt.Fprintf(&b, " %10.4f %10.4f\n", r.DynamicW, r.TotalW)
+	}
+	return b.String()
+}

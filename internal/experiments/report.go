@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sttllc/internal/config"
+	"sttllc/internal/stats"
+	"sttllc/internal/sttram"
+)
+
+// MarkdownReport runs the full evaluation at the given parameters and
+// renders a self-contained Markdown report: the regenerated tables and
+// figures with suite aggregates, in the structure of EXPERIMENTS.md.
+// cmd/sttreport wraps it.
+func MarkdownReport(p Params) string {
+	var b strings.Builder
+	b.WriteString("# STT-RAM GPU LLC — regenerated evaluation\n\n")
+	fmt.Fprintf(&b, "Suite: %d benchmarks, scale %.2f.\n\n", len(p.specs()), p.scale())
+
+	// Table 1.
+	b.WriteString("## Table 1 — retention design points\n\n")
+	b.WriteString(mdTable(
+		[]string{"cell", "Δ", "retention", "write", "write energy (256B)"},
+		func() [][]string {
+			var rows [][]string
+			for _, r := range sttram.Table1(config.BaseLineBytes) {
+				rows = append(rows, []string{
+					r.Cell.Name,
+					fmt.Sprintf("%.1f", r.Cell.Delta),
+					r.Cell.Retention.String(),
+					r.Cell.WriteLatency.String(),
+					fmt.Sprintf("%.2f nJ", r.Cell.EnergyPerBlock(config.BaseLineBytes, true)*1e9),
+				})
+			}
+			return rows
+		}()))
+
+	// Table 2.
+	b.WriteString("\n## Table 2 — configurations\n\n")
+	b.WriteString(mdTable(
+		[]string{"config", "regs/SM", "L2", "total KB"},
+		func() [][]string {
+			var rows [][]string
+			for _, r := range config.Table2() {
+				rows = append(rows, []string{
+					r.Name, fmt.Sprint(r.RegsPerSM), r.L2, fmt.Sprint(r.L2TotalKB),
+				})
+			}
+			return rows
+		}()))
+
+	// Figure 3.
+	fig3 := Fig3(p)
+	b.WriteString("\n## Figure 3 — write variation (COV)\n\n")
+	b.WriteString(mdTable(
+		[]string{"benchmark", "inter-set", "intra-set"},
+		func() [][]string {
+			var rows [][]string
+			for _, r := range fig3 {
+				rows = append(rows, []string{
+					r.Benchmark,
+					fmt.Sprintf("%.0f%%", r.InterSetCOV*100),
+					fmt.Sprintf("%.0f%%", r.IntraSetCOV*100),
+				})
+			}
+			return rows
+		}()))
+
+	// Figures 4 and 5: suite means per sweep point.
+	fig4 := Fig4(p, nil)
+	b.WriteString("\n## Figure 4 — write-threshold sweep (suite means, normalized to TH1)\n\n")
+	b.WriteString(mdTable(
+		[]string{"threshold", "LR/HR ratio", "write overhead"},
+		func() [][]string {
+			var rows [][]string
+			for _, th := range Fig4Thresholds {
+				var ratios, ovh []float64
+				for _, r := range fig4 {
+					if r.Threshold == th {
+						ratios = append(ratios, r.LRHRRatio)
+						ovh = append(ovh, r.WriteOverhead)
+					}
+				}
+				rows = append(rows, []string{
+					fmt.Sprintf("TH%d", th),
+					fmt.Sprintf("%.3f", stats.Mean(ratios)),
+					fmt.Sprintf("%.3f", stats.Mean(ovh)),
+				})
+			}
+			return rows
+		}()))
+
+	fig5 := Fig5(p, nil)
+	b.WriteString("\n## Figure 5 — LR associativity (suite means, normalized to fully-associative)\n\n")
+	b.WriteString(mdTable(
+		[]string{"ways", "utilization"},
+		func() [][]string {
+			var rows [][]string
+			for _, w := range Fig5Ways {
+				var us []float64
+				for _, r := range fig5 {
+					if r.Ways == w {
+						us = append(us, r.Utilization)
+					}
+				}
+				rows = append(rows, []string{fmt.Sprint(w), fmt.Sprintf("%.3f", stats.Mean(us))})
+			}
+			return rows
+		}()))
+
+	// Figure 6: aggregate mass below 10µs.
+	fig6 := Fig6(p)
+	var under10 []float64
+	for _, r := range fig6 {
+		under10 = append(under10, r.Fractions[0]+r.Fractions[1]+r.Fractions[2])
+	}
+	b.WriteString("\n## Figure 6 — rewrite intervals\n\n")
+	fmt.Fprintf(&b, "%.1f%% of LR rewrites happen within 10µs (suite mean).\n", stats.Mean(under10)*100)
+
+	// Figure 8.
+	fig8 := Fig8(p)
+	b.WriteString("\n## Figure 8 — speedup and power vs SRAM baseline\n\n")
+	b.WriteString(mdTable(
+		append([]string{"benchmark"}, Fig8Configs...),
+		func() [][]string {
+			var rows [][]string
+			for _, r := range fig8.Rows {
+				row := []string{r.Benchmark}
+				for _, c := range Fig8Configs {
+					row = append(row, fmt.Sprintf("%.3f", r.Speedup[c]))
+				}
+				rows = append(rows, row)
+			}
+			sum := []string{"**gmean speedup**"}
+			for _, c := range Fig8Configs {
+				sum = append(sum, fmt.Sprintf("**%.3f**", fig8.GmeanSpeedup[c]))
+			}
+			rows = append(rows, sum)
+			dyn := []string{"mean dynamic power"}
+			tot := []string{"mean total power"}
+			for _, c := range Fig8Configs {
+				dyn = append(dyn, fmt.Sprintf("%.3f", fig8.MeanDynPower[c]))
+				tot = append(tot, fmt.Sprintf("%.3f", fig8.MeanTotalPower[c]))
+			}
+			rows = append(rows, dyn, tot)
+			return rows
+		}()))
+
+	// Ablation means per variant.
+	abl := Ablation(p, nil)
+	b.WriteString("\n## Ablations (suite means, relative to full C1)\n\n")
+	b.WriteString(mdTable(
+		[]string{"variant", "speedup", "dynamic power"},
+		func() [][]string {
+			var rows [][]string
+			for _, v := range AblationVariants {
+				var sp, dp []float64
+				for _, r := range abl {
+					if r.Variant == v {
+						sp = append(sp, r.Speedup)
+						dp = append(dp, r.DynPower)
+					}
+				}
+				rows = append(rows, []string{v,
+					fmt.Sprintf("%.3f", stats.Mean(sp)),
+					fmt.Sprintf("%.3f", stats.Mean(dp))})
+			}
+			return rows
+		}()))
+
+	// Reliability headline.
+	rel := Reliability(p)
+	var loss1ms, needRefresh []float64
+	for _, r := range rel {
+		loss1ms = append(loss1ms, r.LossNoRefresh[time.Millisecond])
+		needRefresh = append(needRefresh, r.RefreshNeeded)
+	}
+	b.WriteString("\n## Reliability\n\n")
+	fmt.Fprintf(&b, "Without refresh, a 1ms LR would silently corrupt %.1e of rewritten blocks per rewrite (suite mean); %.2f%% of rewrite intervals exceed the retention (refresh-needed share).\n",
+		stats.Mean(loss1ms), stats.Mean(needRefresh)*100)
+
+	return b.String()
+}
+
+// mdTable renders a Markdown table.
+func mdTable(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}

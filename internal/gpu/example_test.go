@@ -1,0 +1,22 @@
+package gpu_test
+
+import (
+	"fmt"
+
+	"sttllc/internal/gpu"
+)
+
+// Occupancy is block-granular: a register-file bonus only helps when a
+// whole extra thread block fits — C2's bonus admits another 6-warp block
+// for this kernel, but not for one with 512-thread blocks.
+func ExampleResidentWarps() {
+	cfg := gpu.DefaultSMConfig()
+	fmt.Println("baseline:", gpu.ResidentWarps(cfg, 63, 192), "warps")
+	cfg.Registers += 4915 // C2's per-SM bonus
+	fmt.Println("with C2 bonus:", gpu.ResidentWarps(cfg, 63, 192), "warps")
+	fmt.Println("512-thread blocks:", gpu.ResidentWarps(cfg, 40, 512), "warps (bonus wasted)")
+	// Output:
+	// baseline: 12 warps
+	// with C2 bonus: 18 warps
+	// 512-thread blocks: 16 warps (bonus wasted)
+}

@@ -1,0 +1,519 @@
+// Package gpu models the compute side of the simulated GPU: streaming
+// multiprocessors (SMs) that interleave warps to hide memory latency, the
+// register-file occupancy limit that decides how many warps can be
+// resident, and the per-SM L1 data cache with the GPU write policies of
+// the paper's Fig. 1-b (write-evict for global data on hit, no-allocate
+// on miss; write-back for local data).
+//
+// An SM issues at most one warp instruction per cycle from its pool of
+// ready warps (loose round-robin). Loads block the issuing warp until the
+// memory system answers; stores are fire-and-forget but consume one of a
+// bounded pool of store credits, so sustained write streams eventually
+// stall the SM — which is how slow L2 writes (the archival STT-RAM
+// baseline) translate into lost IPC.
+package gpu
+
+import (
+	"math"
+
+	"sttllc/internal/cache"
+)
+
+// ThreadsPerWarp is the SIMT width (32 across all NVIDIA generations the
+// paper discusses).
+const ThreadsPerWarp = 32
+
+// InstrKind classifies a warp instruction.
+type InstrKind int
+
+const (
+	InstrALU InstrKind = iota
+	InstrLoad
+	InstrStore
+)
+
+// Space classifies a memory instruction's address space, mirroring the
+// GPU memory hierarchy of the paper's Fig. 1-a: global and local data go
+// through the L1 data cache; constant and texture data have dedicated
+// per-SM read-only caches — all backed by the shared L2.
+type Space uint8
+
+const (
+	SpaceGlobal Space = iota
+	SpaceLocal
+	SpaceConst
+	SpaceTex
+)
+
+// String returns the space name.
+func (sp Space) String() string {
+	switch sp {
+	case SpaceLocal:
+		return "local"
+	case SpaceConst:
+		return "const"
+	case SpaceTex:
+		return "tex"
+	default:
+		return "global"
+	}
+}
+
+// Instr is one warp-level instruction. Memory instructions carry the
+// (already coalesced) line address and the address space it belongs to.
+type Instr struct {
+	Kind  InstrKind
+	Addr  uint64
+	Space Space
+}
+
+// Local reports whether the instruction touches thread-local data.
+func (in Instr) Local() bool { return in.Space == SpaceLocal }
+
+// WarpStream produces the instruction stream of one warp. Next returns
+// the next instruction and false when the warp has retired.
+type WarpStream interface {
+	Next() (Instr, bool)
+}
+
+// KernelModel supplies per-warp instruction streams; warp indices are
+// global across the GPU so streams can partition the address space.
+type KernelModel interface {
+	NewWarp(warpIndex int) WarpStream
+}
+
+// MemSystem is the SM's view of everything behind the L1: interconnect,
+// L2 banks, DRAM. Access returns the cycle at which the request completes
+// (data returned for loads, write acknowledged for stores). Calls are
+// made in non-decreasing now order.
+type MemSystem interface {
+	Access(now int64, smID int, addr uint64, write bool) (done int64)
+}
+
+// Scheduler selects the warp-issue policy.
+type Scheduler int
+
+const (
+	// RoundRobin issues from ready warps in loose round-robin order
+	// (the interleaving the paper's GPU model assumes).
+	RoundRobin Scheduler = iota
+	// GTO (greedy-then-oldest) keeps issuing from the last warp until
+	// it stalls, then falls back to the oldest ready warp — the
+	// scheduler shown by Rogers et al. [MICRO'12, cited by the paper]
+	// to improve intra-warp locality.
+	GTO
+)
+
+// String returns the scheduler name.
+func (s Scheduler) String() string {
+	if s == GTO {
+		return "GTO"
+	}
+	return "RoundRobin"
+}
+
+// SMConfig sizes one streaming multiprocessor.
+type SMConfig struct {
+	// MaxWarps is the scheduler's resident-warp limit (48 on Fermi).
+	MaxWarps int
+	// Registers is the per-SM register file capacity in 32-bit
+	// registers; together with the kernel's RegsPerThread it bounds
+	// occupancy.
+	Registers int
+	// L1 geometry (Table 2: 16KB, 4-way, 128B lines).
+	L1Bytes     int
+	L1Ways      int
+	L1LineBytes int
+	// L1HitLatency is the load-to-use latency of an L1 hit in cycles.
+	L1HitLatency int64
+	// Constant cache geometry (Table 2: 8KB, 128B lines).
+	ConstBytes     int
+	ConstWays      int
+	ConstLineBytes int
+	// Texture cache geometry (Table 2: 12KB, 64B lines).
+	TexBytes     int
+	TexWays      int
+	TexLineBytes int
+	// StoreCredits bounds outstanding stores per SM.
+	StoreCredits int
+	// Scheduler selects the warp-issue policy (default RoundRobin).
+	Scheduler Scheduler
+}
+
+// DefaultSMConfig returns the GTX480-like SM of Table 2.
+func DefaultSMConfig() SMConfig {
+	return SMConfig{
+		MaxWarps:       48,
+		Registers:      32768,
+		L1Bytes:        16 << 10,
+		L1Ways:         4,
+		L1LineBytes:    128,
+		L1HitLatency:   20,
+		ConstBytes:     8 << 10,
+		ConstWays:      2,
+		ConstLineBytes: 128,
+		TexBytes:       12 << 10,
+		TexWays:        3,
+		TexLineBytes:   64,
+		StoreCredits:   16,
+	}
+}
+
+// ResidentWarps returns the warp occupancy for a kernel needing
+// regsPerThread registers per thread and launching thread blocks of
+// threadsPerBlock threads. Thread blocks are allocated to an SM as a
+// unit, so occupancy is block-granular: a register-file bonus only helps
+// when it fits one more whole block — the effect behind the paper's
+// observation that some kernels gain nothing from C2's larger register
+// file. The result is capped by the scheduler's warp limit and never
+// below one block (a kernel that fits at all runs).
+func ResidentWarps(cfg SMConfig, regsPerThread, threadsPerBlock int) int {
+	if threadsPerBlock < ThreadsPerWarp {
+		threadsPerBlock = ThreadsPerWarp
+	}
+	warpsPerBlock := threadsPerBlock / ThreadsPerWarp
+	maxBlocks := cfg.MaxWarps / warpsPerBlock
+	if regsPerThread > 0 {
+		byRF := cfg.Registers / (regsPerThread * threadsPerBlock)
+		if byRF < maxBlocks {
+			maxBlocks = byRF
+		}
+	}
+	if maxBlocks < 1 {
+		maxBlocks = 1
+	}
+	n := maxBlocks * warpsPerBlock
+	if n > cfg.MaxWarps {
+		n = cfg.MaxWarps
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// warpCtx is one resident warp slot.
+type warpCtx struct {
+	stream  WarpStream
+	wake    int64
+	retired bool
+	// pending holds a store that could not issue for lack of credits.
+	pending  Instr
+	hasPend  bool
+	jobIndex int
+}
+
+// SMStats counts per-SM activity.
+type SMStats struct {
+	Instructions uint64
+	ALU          uint64
+	Loads        uint64
+	Stores       uint64
+	ConstLoads   uint64
+	TexLoads     uint64
+	L1WriteEvict uint64 // global store hits that evicted the L1 copy
+	StoreStalls  uint64 // cycles a warp could not issue for lack of store credits
+}
+
+// SM is one streaming multiprocessor executing a window of warp jobs.
+type SM struct {
+	ID  int
+	cfg SMConfig
+
+	mem    MemSystem
+	model  KernelModel
+	l1     *cache.Cache
+	ccache *cache.Cache // constant cache (read-only)
+	tcache *cache.Cache // texture cache (read-only)
+
+	warps      []warpCtx
+	rr         int
+	lastIssued int
+	nextJob    int
+	lastJob    int // exclusive
+
+	credits   int
+	creditRet []int64 // outstanding store completion times
+
+	stats SMStats
+}
+
+// NewSM builds an SM running jobs [firstJob, firstJob+numJobs) of the
+// kernel with the given resident-warp count.
+func NewSM(id int, cfg SMConfig, model KernelModel, mem MemSystem, resident, firstJob, numJobs int) *SM {
+	if resident < 1 {
+		resident = 1
+	}
+	if resident > numJobs {
+		resident = numJobs
+	}
+	s := &SM{
+		ID:         id,
+		cfg:        cfg,
+		mem:        mem,
+		model:      model,
+		l1:         cache.New(cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes),
+		ccache:     cache.New(cfg.ConstBytes, cfg.ConstWays, cfg.ConstLineBytes),
+		tcache:     cache.New(cfg.TexBytes, cfg.TexWays, cfg.TexLineBytes),
+		warps:      make([]warpCtx, resident),
+		lastIssued: -1,
+		nextJob:    firstJob,
+		lastJob:    firstJob + numJobs,
+		credits:    cfg.StoreCredits,
+	}
+	for i := range s.warps {
+		s.activate(i)
+	}
+	return s
+}
+
+// activate loads the next warp job into slot i, or marks it retired.
+func (s *SM) activate(i int) {
+	if s.nextJob >= s.lastJob {
+		s.warps[i].retired = true
+		return
+	}
+	s.warps[i] = warpCtx{stream: s.model.NewWarp(s.nextJob), jobIndex: s.nextJob}
+	s.nextJob++
+}
+
+// reclaimCredits returns store credits whose writes completed by now.
+func (s *SM) reclaimCredits(now int64) {
+	live := s.creditRet[:0]
+	for _, t := range s.creditRet {
+		if t > now {
+			live = append(live, t)
+		} else {
+			s.credits++
+		}
+	}
+	s.creditRet = live
+}
+
+// Step lets the SM issue at most one warp instruction at cycle now and
+// reports whether anything issued.
+func (s *SM) Step(now int64) bool {
+	s.reclaimCredits(now)
+	if s.cfg.Scheduler == GTO {
+		return s.stepGTO(now)
+	}
+	n := len(s.warps)
+	for k := 0; k < n; k++ {
+		i := (s.rr + k) % n
+		if s.tryIssue(now, i) {
+			s.rr = (i + 1) % n
+			return true
+		}
+	}
+	return false
+}
+
+// stepGTO implements greedy-then-oldest issue: stay with the last-issued
+// warp while it is ready; otherwise pick the ready warp running the
+// oldest job.
+func (s *SM) stepGTO(now int64) bool {
+	var visited uint64
+	if s.lastIssued >= 0 {
+		if s.tryIssue(now, s.lastIssued) {
+			return true
+		}
+		visited |= 1 << uint(s.lastIssued)
+	}
+	for {
+		best, bestJob := -1, int(^uint(0)>>1)
+		for i := range s.warps {
+			if visited&(1<<uint(i)) != 0 {
+				continue
+			}
+			w := &s.warps[i]
+			if w.retired || w.wake > now {
+				continue
+			}
+			if w.jobIndex < bestJob {
+				best, bestJob = i, w.jobIndex
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		visited |= 1 << uint(best)
+		if s.tryIssue(now, best) {
+			return true
+		}
+	}
+}
+
+// tryIssue attempts to issue one instruction from warp slot i. It
+// returns false when the slot cannot issue this cycle (blocked, retired,
+// stream exhausted, or stalled on store credits).
+func (s *SM) tryIssue(now int64, i int) bool {
+	w := &s.warps[i]
+	if w.retired || w.wake > now {
+		return false
+	}
+	instr, ok := w.pending, w.hasPend
+	if !ok {
+		instr, ok = w.stream.Next()
+		if !ok {
+			s.activate(i)
+			// The fresh warp (if any) may issue on a later cycle;
+			// don't double-issue this cycle.
+			return false
+		}
+	}
+	if instr.Kind == InstrStore && s.credits == 0 {
+		// Stalled on store bandwidth; remember the instruction and
+		// let another warp try.
+		w.pending, w.hasPend = instr, true
+		s.stats.StoreStalls++
+		return false
+	}
+	w.hasPend = false
+	s.execute(now, w, instr)
+	s.lastIssued = i
+	return true
+}
+
+// execute performs one instruction for warp w at cycle now.
+func (s *SM) execute(now int64, w *warpCtx, in Instr) {
+	s.stats.Instructions++
+	switch in.Kind {
+	case InstrALU:
+		s.stats.ALU++
+		w.wake = now + 1
+	case InstrLoad:
+		s.stats.Loads++
+		switch in.Space {
+		case SpaceConst:
+			s.stats.ConstLoads++
+			w.wake = s.readOnlyLoad(now, s.ccache, in.Addr)
+			return
+		case SpaceTex:
+			s.stats.TexLoads++
+			w.wake = s.readOnlyLoad(now, s.tcache, in.Addr)
+			return
+		}
+		if hit, _ := s.l1.Access(in.Addr, false, now); hit {
+			w.wake = now + s.cfg.L1HitLatency
+			return
+		}
+		done := s.mem.Access(now, s.ID, in.Addr, false)
+		s.fillL1(now, in.Addr)
+		w.wake = done
+	case InstrStore:
+		s.stats.Stores++
+		done := s.storeToMem(now, in)
+		s.credits--
+		s.creditRet = append(s.creditRet, done)
+		w.wake = now + 1 // stores do not block the warp
+	}
+}
+
+// storeToMem applies the Fig. 1-b write policy and returns the cycle the
+// L2-bound write (if any) completes. Local stores that hit in L1 complete
+// immediately.
+func (s *SM) storeToMem(now int64, in Instr) int64 {
+	if in.Local() {
+		// Local data: write-back, write-allocate in L1.
+		if _, _, hit := s.l1.Probe(in.Addr); hit {
+			s.l1.Access(in.Addr, true, now)
+			return now + 1
+		}
+		s.l1.Stats.WriteMisses++
+		if ev, evicted := s.l1.Fill(in.Addr, true, now); evicted && ev.Dirty {
+			return s.mem.Access(now, s.ID, ev.Addr, true)
+		}
+		return now + 1
+	}
+	// Global data: write-evict on hit, write-no-allocate on miss, and
+	// the store itself goes through to L2 either way.
+	if _, found := s.l1.Invalidate(in.Addr); found {
+		s.stats.L1WriteEvict++
+	}
+	return s.mem.Access(now, s.ID, in.Addr, true)
+}
+
+// readOnlyLoad serves a constant or texture fetch from its dedicated
+// read-only cache, going to the L2 on a miss. Read-only caches never
+// hold dirty data, so fills simply drop the victim.
+func (s *SM) readOnlyLoad(now int64, c *cache.Cache, addr uint64) int64 {
+	if hit, _ := c.Access(addr, false, now); hit {
+		return now + s.cfg.L1HitLatency
+	}
+	done := s.mem.Access(now, s.ID, addr, false)
+	c.Fill(addr, false, now)
+	return done
+}
+
+// fillL1 installs a loaded line, writing back any dirty local victim.
+func (s *SM) fillL1(now int64, addr uint64) {
+	if ev, evicted := s.l1.Fill(addr, false, now); evicted && ev.Dirty {
+		s.mem.Access(now, s.ID, ev.Addr, true)
+	}
+}
+
+// NextWake returns the earliest cycle after now at which the SM could
+// make progress, or math.MaxInt64 when it is finished.
+func (s *SM) NextWake(now int64) int64 {
+	min := int64(math.MaxInt64)
+	anyStalled := false
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.retired {
+			continue
+		}
+		if w.hasPend && s.credits == 0 {
+			// A credit-stalled store can only proceed when an
+			// outstanding store completes; its own wake time is
+			// irrelevant.
+			anyStalled = true
+			continue
+		}
+		if w.wake < min {
+			min = w.wake
+		}
+	}
+	if anyStalled {
+		for _, t := range s.creditRet {
+			if t < min {
+				min = t
+			}
+		}
+	}
+	if min <= now && min != int64(math.MaxInt64) {
+		return now + 1
+	}
+	return min
+}
+
+// Done reports whether every warp job has retired.
+func (s *SM) Done() bool {
+	for i := range s.warps {
+		if !s.warps[i].retired {
+			return false
+		}
+	}
+	return s.nextJob >= s.lastJob
+}
+
+// Stats returns the SM's counters.
+func (s *SM) Stats() SMStats { return s.stats }
+
+// ResetStats zeroes the SM's counters and its caches' statistics while
+// keeping warp and cache state (the warmup boundary).
+func (s *SM) ResetStats() {
+	s.stats = SMStats{}
+	s.l1.Stats = cache.Stats{}
+	s.ccache.Stats = cache.Stats{}
+	s.tcache.Stats = cache.Stats{}
+}
+
+// L1Stats returns the L1 cache statistics.
+func (s *SM) L1Stats() cache.Stats { return s.l1.Stats }
+
+// ConstStats and TexStats return the read-only caches' statistics.
+func (s *SM) ConstStats() cache.Stats { return s.ccache.Stats }
+func (s *SM) TexStats() cache.Stats   { return s.tcache.Stats }
+
+// ResidentWarpCount returns the number of warp slots.
+func (s *SM) ResidentWarpCount() int { return len(s.warps) }

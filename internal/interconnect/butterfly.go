@@ -1,0 +1,127 @@
+package interconnect
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Butterfly is a radix-2 k-stage butterfly network with per-link
+// contention — the detailed version of the port-level model in Network.
+// A transfer follows destination-tag routing: at stage s it takes the
+// straight or cross link according to bit (k-1-s) of its destination,
+// and serializes on each link it traverses (one transfer per link per
+// cycle). Distinct source/destination pairs that share intermediate
+// links therefore contend, which the port-level model cannot express.
+//
+// Inputs and outputs are padded up to the same power-of-two size; the
+// GTX480-like 15 SMs x 6 banks instance runs on a 16-node butterfly.
+type Butterfly struct {
+	Inputs  int
+	Outputs int
+	// RouterCycles is the per-stage router pipeline latency.
+	RouterCycles int64
+
+	size   int // power-of-two node count per stage
+	stages int
+	// linkFree[s][n][p] is the earliest free cycle of output port p
+	// (0 = straight, 1 = cross) of node n at stage s.
+	linkFree [][][2]int64
+
+	Stats Stats
+}
+
+// NewButterfly builds a butterfly connecting inputs sources to outputs
+// sinks.
+func NewButterfly(inputs, outputs int, routerCycles int64) *Butterfly {
+	if inputs <= 0 || outputs <= 0 || routerCycles <= 0 {
+		panic("interconnect: non-positive butterfly parameters")
+	}
+	n := inputs
+	if outputs > n {
+		n = outputs
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	stages := bits.TrailingZeros(uint(size))
+	if stages < 1 {
+		stages = 1
+		size = 2
+	}
+	lf := make([][][2]int64, stages)
+	for s := range lf {
+		lf[s] = make([][2]int64, size)
+	}
+	return &Butterfly{
+		Inputs:       inputs,
+		Outputs:      outputs,
+		RouterCycles: routerCycles,
+		size:         size,
+		stages:       stages,
+		linkFree:     lf,
+	}
+}
+
+// Stages returns the stage count.
+func (b *Butterfly) Stages() int { return b.stages }
+
+// BaseLatency returns the unloaded traversal latency.
+func (b *Butterfly) BaseLatency() int64 {
+	return int64(b.stages) * b.RouterCycles
+}
+
+// route returns the node index at the next stage when node takes the
+// link selected by destBit at stage s: destination-tag routing fixes bit
+// (stages-1-s) of the node index to destBit.
+func (b *Butterfly) route(node, s, destBit int) int {
+	bit := uint(b.stages - 1 - s)
+	return node&^(1<<bit) | destBit<<bit
+}
+
+// Deliver sends one transfer from input to output entering at cycle now
+// and returns its arrival, serializing on every link along the path.
+func (b *Butterfly) Deliver(now int64, input, output int) int64 {
+	if input < 0 || input >= b.Inputs {
+		panic(fmt.Sprintf("interconnect: butterfly input %d out of range [0,%d)", input, b.Inputs))
+	}
+	if output < 0 || output >= b.Outputs {
+		panic(fmt.Sprintf("interconnect: butterfly output %d out of range [0,%d)", output, b.Outputs))
+	}
+	t := now
+	node := input
+	for s := 0; s < b.stages; s++ {
+		bit := output >> uint(b.stages-1-s) & 1
+		next := b.route(node, s, bit)
+		port := 0
+		if next != node {
+			port = 1
+		}
+		free := &b.linkFree[s][node][port]
+		start := t
+		if *free > start {
+			b.Stats.QueueCycles += uint64(*free - start)
+			start = *free
+		}
+		*free = start + 1
+		t = start + b.RouterCycles
+		node = next
+	}
+	b.Stats.Transfers++
+	return t
+}
+
+// EnergyPerTransfer returns the dynamic energy of one traversal.
+func (b *Butterfly) EnergyPerTransfer(payloadBytes int) float64 {
+	return float64(payloadBytes) * float64(b.stages) * energyPerBytePerStage
+}
+
+// Reset clears link state and statistics.
+func (b *Butterfly) Reset() {
+	for s := range b.linkFree {
+		for n := range b.linkFree[s] {
+			b.linkFree[s][n] = [2]int64{}
+		}
+	}
+	b.Stats = Stats{}
+}

@@ -1,0 +1,150 @@
+// Package plot renders the evaluation's figures as ASCII bar charts for
+// terminal inspection — grouped bars per benchmark, like the paper's
+// Figure 8 panels, without leaving the console.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named sequence of values aligned with the category
+// labels of a Chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a grouped horizontal bar chart.
+type Chart struct {
+	Title      string
+	Categories []string // one group per category (e.g. benchmark names)
+	Series     []Series // one bar per series within each group
+	// Reference, when non-zero, draws a marker at that value on every
+	// bar row (e.g. 1.0 for normalized plots).
+	Reference float64
+	// Width is the bar area width in characters (default 40).
+	Width int
+}
+
+// barGlyphs distinguish series without color.
+var barGlyphs = []byte{'#', '=', '*', '+', 'o', 'x'}
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	max := c.Reference
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	scale := float64(width) / max
+
+	labelW := 0
+	for _, cat := range c.Categories {
+		if len(cat) > labelW {
+			labelW = len(cat)
+		}
+	}
+	for _, s := range c.Series {
+		if len(s.Name) > labelW {
+			labelW = len(s.Name)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	refCol := -1
+	if c.Reference > 0 {
+		refCol = int(c.Reference * scale)
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	for ci, cat := range c.Categories {
+		fmt.Fprintf(&b, "%-*s\n", labelW, cat)
+		for si, s := range c.Series {
+			v := 0.0
+			if ci < len(s.Values) {
+				v = s.Values[ci]
+			}
+			bar := renderBar(v, scale, width, barGlyphs[si%len(barGlyphs)], refCol)
+			fmt.Fprintf(&b, "  %-*s |%s| %.3f\n", labelW, s.Name, bar, v)
+		}
+	}
+	if refCol >= 0 {
+		fmt.Fprintf(&b, "%-*s  |%s| = %.2f\n", labelW+2, "", refMarkerLine(refCol, width), c.Reference)
+	}
+	return b.String()
+}
+
+func renderBar(v, scale float64, width int, glyph byte, refCol int) string {
+	n := 0
+	if v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+		n = int(v * scale)
+		if n > width {
+			n = width
+		}
+	}
+	row := make([]byte, width)
+	for i := range row {
+		switch {
+		case i < n:
+			row[i] = glyph
+		case i == refCol:
+			row[i] = '.'
+		default:
+			row[i] = ' '
+		}
+	}
+	return string(row)
+}
+
+func refMarkerLine(refCol, width int) string {
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	if refCol >= 0 && refCol < width {
+		row[refCol] = '^'
+	}
+	return string(row)
+}
+
+// FromMap builds a chart from per-category maps (category -> value per
+// series), keeping the given series order and sorting categories.
+func FromMap(title string, perSeries map[string]map[string]float64, seriesOrder []string, reference float64) Chart {
+	catSet := map[string]bool{}
+	for _, m := range perSeries {
+		for cat := range m {
+			catSet[cat] = true
+		}
+	}
+	cats := make([]string, 0, len(catSet))
+	for cat := range catSet {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	ch := Chart{Title: title, Categories: cats, Reference: reference}
+	for _, name := range seriesOrder {
+		vals := make([]float64, len(cats))
+		for i, cat := range cats {
+			vals[i] = perSeries[name][cat]
+		}
+		ch.Series = append(ch.Series, Series{Name: name, Values: vals})
+	}
+	return ch
+}

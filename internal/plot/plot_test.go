@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := Chart{
+		Title:      "speedup",
+		Categories: []string{"bfs", "nw"},
+		Series: []Series{
+			{Name: "C1", Values: []float64{1.5, 2.0}},
+			{Name: "C2", Values: []float64{1.0, 1.0}},
+		},
+		Reference: 1.0,
+		Width:     20,
+	}
+	out := c.Render()
+	for _, want := range []string{"speedup", "bfs", "nw", "C1", "C2", "1.500", "2.000", "^"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The 2.0 bar is the maximum: it must span the full width.
+	lines := strings.Split(out, "\n")
+	var maxBar string
+	for _, l := range lines {
+		if strings.Contains(l, "2.000") {
+			maxBar = l
+		}
+	}
+	if got := strings.Count(maxBar, "#"); got != 20 {
+		t.Errorf("max bar has %d glyphs, want 20:\n%q", got, maxBar)
+	}
+}
+
+func TestRenderProportionalBars(t *testing.T) {
+	c := Chart{
+		Categories: []string{"a"},
+		Series: []Series{
+			{Name: "half", Values: []float64{1}},
+			{Name: "full", Values: []float64{2}},
+		},
+		Width: 30,
+	}
+	out := c.Render()
+	half := strings.Count(strings.Split(out, "\n")[1], "#")
+	full := strings.Count(strings.Split(out, "\n")[2], "=")
+	if full != 30 || half != 15 {
+		t.Errorf("bars = %d and %d, want 15 and 30\n%s", half, full, out)
+	}
+}
+
+func TestRenderDegenerateValues(t *testing.T) {
+	c := Chart{
+		Categories: []string{"x"},
+		Series: []Series{
+			{Name: "nan", Values: []float64{math.NaN()}},
+			{Name: "inf", Values: []float64{math.Inf(1)}},
+			{Name: "neg", Values: []float64{-1}},
+			{Name: "zero", Values: []float64{0}},
+		},
+	}
+	out := c.Render()
+	if strings.Count(out, "#") != 0 {
+		t.Errorf("degenerate values should draw empty bars:\n%s", out)
+	}
+}
+
+func TestRenderMissingValues(t *testing.T) {
+	// Fewer values than categories: the gap renders as zero, no panic.
+	c := Chart{
+		Categories: []string{"a", "b"},
+		Series:     []Series{{Name: "s", Values: []float64{1}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "0.000") {
+		t.Errorf("missing value should render as zero:\n%s", out)
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	ch := FromMap("t", map[string]map[string]float64{
+		"C1": {"bfs": 1.5, "nw": 2.0},
+		"C2": {"bfs": 1.0},
+	}, []string{"C1", "C2"}, 1.0)
+	if len(ch.Categories) != 2 || ch.Categories[0] != "bfs" || ch.Categories[1] != "nw" {
+		t.Errorf("categories = %v", ch.Categories)
+	}
+	if len(ch.Series) != 2 || ch.Series[0].Name != "C1" {
+		t.Errorf("series = %+v", ch.Series)
+	}
+	// Missing nw value for C2 defaults to zero.
+	if ch.Series[1].Values[1] != 0 {
+		t.Errorf("missing value = %v, want 0", ch.Series[1].Values[1])
+	}
+	if !strings.Contains(ch.Render(), "bfs") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	c := Chart{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1}}}}
+	out := c.Render()
+	if got := strings.Count(out, "#"); got != 40 {
+		t.Errorf("default width bar = %d, want 40", got)
+	}
+}

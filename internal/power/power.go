@@ -1,0 +1,144 @@
+// Package power assembles the L2 power report of the evaluation from the
+// banks' energy ledgers: a per-component dynamic breakdown (tag probes,
+// data reads/writes, migrations, refreshes, buffers, retention counters),
+// leakage, and totals, with normalization helpers for the Fig. 8b/8c
+// presentation.
+package power
+
+import (
+	"fmt"
+	"strings"
+
+	"sttllc/internal/core"
+)
+
+// Component identifies one dynamic-energy category.
+type Component int
+
+const (
+	TagAccess Component = iota
+	DataRead
+	DataWrite
+	Migration
+	Refresh
+	Buffer
+	RCCounters
+	numComponents
+)
+
+// String returns the component name.
+func (c Component) String() string {
+	switch c {
+	case TagAccess:
+		return "tag-access"
+	case DataRead:
+		return "data-read"
+	case DataWrite:
+		return "data-write"
+	case Migration:
+		return "migration"
+	case Refresh:
+		return "refresh"
+	case Buffer:
+		return "buffer"
+	case RCCounters:
+		return "rc-counters"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Components lists all categories in display order.
+func Components() []Component {
+	out := make([]Component, numComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Breakdown is the assembled L2 power report for one run.
+type Breakdown struct {
+	// EnergyJ holds dynamic energy per component in joules.
+	EnergyJ [numComponents]float64
+	// LeakageW is static power in watts.
+	LeakageW float64
+	// Seconds is the simulated runtime the energies accrued over.
+	Seconds float64
+}
+
+// FromBanks sums the energy ledgers and leakage of a bank group over a
+// simulated runtime.
+func FromBanks(banks []core.Bank, seconds float64) Breakdown {
+	var b Breakdown
+	b.Seconds = seconds
+	for _, bank := range banks {
+		e := bank.Energy()
+		b.EnergyJ[TagAccess] += e.TagAccess
+		b.EnergyJ[DataRead] += e.DataRead
+		b.EnergyJ[DataWrite] += e.DataWrite
+		b.EnergyJ[Migration] += e.Migration
+		b.EnergyJ[Refresh] += e.Refresh
+		b.EnergyJ[Buffer] += e.Buffer
+		b.EnergyJ[RCCounters] += e.RCCounters
+		b.LeakageW += bank.LeakageWatts()
+	}
+	return b
+}
+
+// DynamicEnergyJ returns total dynamic energy.
+func (b Breakdown) DynamicEnergyJ() float64 {
+	var t float64
+	for _, e := range b.EnergyJ {
+		t += e
+	}
+	return t
+}
+
+// DynamicW returns average dynamic power over the runtime.
+func (b Breakdown) DynamicW() float64 {
+	if b.Seconds <= 0 {
+		return 0
+	}
+	return b.DynamicEnergyJ() / b.Seconds
+}
+
+// TotalW returns dynamic plus leakage power.
+func (b Breakdown) TotalW() float64 {
+	return b.DynamicW() + b.LeakageW
+}
+
+// Share returns the fraction of dynamic energy spent in component c
+// (0 when no dynamic energy accrued).
+func (b Breakdown) Share(c Component) float64 {
+	total := b.DynamicEnergyJ()
+	if total <= 0 {
+		return 0
+	}
+	return b.EnergyJ[c] / total
+}
+
+// NormalizedTo returns (dynamic, total) power ratios against a reference
+// breakdown, the Fig. 8b/8c presentation.
+func (b Breakdown) NormalizedTo(ref Breakdown) (dynamic, total float64) {
+	if d := ref.DynamicW(); d > 0 {
+		dynamic = b.DynamicW() / d
+	}
+	if t := ref.TotalW(); t > 0 {
+		total = b.TotalW() / t
+	}
+	return dynamic, total
+}
+
+// Format renders the breakdown as a text table.
+func (b Breakdown) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %12s %8s\n", "component", "energy (uJ)", "share")
+	for _, c := range Components() {
+		fmt.Fprintf(&sb, "%-12s %12.3f %7.1f%%\n", c, b.EnergyJ[c]*1e6, b.Share(c)*100)
+	}
+	fmt.Fprintf(&sb, "%-12s %12.3f\n", "dynamic", b.DynamicEnergyJ()*1e6)
+	fmt.Fprintf(&sb, "dynamic %.4f W + leakage %.4f W = total %.4f W over %.3f ms\n",
+		b.DynamicW(), b.LeakageW, b.TotalW(), b.Seconds*1e3)
+	return sb.String()
+}

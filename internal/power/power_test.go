@@ -1,0 +1,126 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sttllc/internal/core"
+	"sttllc/internal/dram"
+	"sttllc/internal/sttram"
+)
+
+func makeBank(t *testing.T) core.Bank {
+	t.Helper()
+	mc := dram.New(8, 2048, dram.DefaultTiming())
+	b := core.NewTwoPartBank(core.TwoPartConfig{
+		LRBytes: 2 << 10, LRWays: 2, LRCell: sttram.LRCell(),
+		HRBytes: 8 << 10, HRWays: 4, HRCell: sttram.HRCell(),
+		LineBytes: 64, ClockHz: 1e9,
+	}, mc)
+	// Generate traffic across every component: fills, reads, writes,
+	// migrations, refreshes.
+	b.Access(0, 0x1000, false)
+	b.Access(50, 0x1000, false) // HR read hit
+	b.Access(100, 0x1000, true) // migration
+	b.Access(200, 0x2000, true) // LR allocation
+	b.Access(300, 0x2000, true) // LR write hit
+	b.Tick(2_000_000)           // past LR retention: refreshes
+	return b
+}
+
+func TestComponentStrings(t *testing.T) {
+	want := []string{"tag-access", "data-read", "data-write", "migration", "refresh", "buffer", "rc-counters"}
+	cs := Components()
+	if len(cs) != len(want) {
+		t.Fatalf("components = %d, want %d", len(cs), len(want))
+	}
+	for i, c := range cs {
+		if c.String() != want[i] {
+			t.Errorf("component %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+	if Component(99).String() != "Component(99)" {
+		t.Error("unknown component should render ordinal")
+	}
+}
+
+func TestFromBanksCapturesAllComponents(t *testing.T) {
+	b := FromBanks([]core.Bank{makeBank(t)}, 0.001)
+	for _, c := range []Component{TagAccess, DataRead, DataWrite, Migration, Refresh, Buffer, RCCounters} {
+		if b.EnergyJ[c] <= 0 {
+			t.Errorf("component %v has no energy", c)
+		}
+	}
+	if b.LeakageW <= 0 {
+		t.Error("leakage missing")
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	var b Breakdown
+	b.Seconds = 2
+	b.EnergyJ[DataRead] = 6
+	b.EnergyJ[DataWrite] = 2
+	b.LeakageW = 0.5
+	if got := b.DynamicEnergyJ(); got != 8 {
+		t.Errorf("DynamicEnergyJ = %v, want 8", got)
+	}
+	if got := b.DynamicW(); got != 4 {
+		t.Errorf("DynamicW = %v, want 4", got)
+	}
+	if got := b.TotalW(); got != 4.5 {
+		t.Errorf("TotalW = %v, want 4.5", got)
+	}
+	if got := b.Share(DataRead); got != 0.75 {
+		t.Errorf("Share = %v, want 0.75", got)
+	}
+}
+
+func TestBreakdownZeroSafe(t *testing.T) {
+	var b Breakdown
+	if b.DynamicW() != 0 || b.TotalW() != 0 || b.Share(DataRead) != 0 {
+		t.Error("zero breakdown should report zeros")
+	}
+	dyn, tot := b.NormalizedTo(Breakdown{})
+	if dyn != 0 || tot != 0 {
+		t.Error("normalizing against a zero reference should yield zeros")
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	b := FromBanks([]core.Bank{makeBank(t)}, 0.001)
+	sum := 0.0
+	for _, c := range Components() {
+		sum += b.Share(c)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestNormalizedTo(t *testing.T) {
+	var ref, b Breakdown
+	ref.Seconds, b.Seconds = 1, 1
+	ref.EnergyJ[DataRead] = 2
+	ref.LeakageW = 2
+	b.EnergyJ[DataRead] = 4
+	b.LeakageW = 1
+	dyn, tot := b.NormalizedTo(ref)
+	if dyn != 2 {
+		t.Errorf("dynamic ratio = %v, want 2", dyn)
+	}
+	if tot != 1.25 {
+		t.Errorf("total ratio = %v, want 1.25", tot)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	b := FromBanks([]core.Bank{makeBank(t)}, 0.001)
+	s := b.Format()
+	for _, want := range []string{"tag-access", "migration", "refresh", "dynamic", "leakage", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package reliability_test
+
+import (
+	"fmt"
+	"time"
+
+	"sttllc/internal/reliability"
+)
+
+// SECDED absorbs single-bit retention failures, buying orders of
+// magnitude at the design point for a 12.5% check-bit overhead.
+func ExampleECCBlockFailureProb() {
+	tau := reliability.ThermalTau(time.Millisecond, 2048, reliability.TargetBlockFailure)
+	raw := reliability.BlockFailureProb(time.Millisecond, tau, 2048)
+	ecc := reliability.ECCBlockFailureProb(time.Millisecond, tau, 2048)
+	fmt.Printf("raw block failure at retention: %.0e\n", raw)
+	fmt.Printf("ECC improvement: %v orders of magnitude\n", ecc < raw*1e-3)
+	fmt.Printf("overhead: %d check bits per 2048-bit block\n", reliability.ECCOverheadBits(2048))
+	// Output:
+	// raw block failure at retention: 1e-04
+	// ECC improvement: true orders of magnitude
+	// overhead: 256 check bits per 2048-bit block
+}

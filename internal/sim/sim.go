@@ -1,0 +1,474 @@
+// Package sim wires the substrates into the full simulated GPU of the
+// evaluation — SMs, per-SM L1 caches, request/reply butterfly networks,
+// address-interleaved L2 banks, per-bank memory controllers — and runs a
+// kernel to completion, reporting IPC and the L2 power breakdown exactly
+// as the paper's figures need them.
+package sim
+
+import (
+	"math"
+
+	"sttllc/internal/cache"
+	"sttllc/internal/config"
+	"sttllc/internal/core"
+	"sttllc/internal/dram"
+	"sttllc/internal/gpu"
+	"sttllc/internal/interconnect"
+	"sttllc/internal/power"
+	"sttllc/internal/trace"
+	"sttllc/internal/workloads"
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	// EnableWriteVariation attaches per-set write counters to uniform
+	// banks for the Fig. 3 characterization.
+	EnableWriteVariation bool
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles int64
+	// TraceWriter, when non-nil, records every L2-bound access for
+	// later offline replay (see Replay).
+	TraceWriter *trace.Writer
+	// WarmupInstructions, when positive, runs that many instructions
+	// first and then resets every statistic (keeping cache contents and
+	// timing state), so the reported numbers exclude cold-start
+	// effects.
+	WarmupInstructions uint64
+}
+
+// Simulator holds one configured GPU running one kernel.
+type Simulator struct {
+	cfg  config.GPUConfig
+	spec workloads.Spec
+	opts Options
+
+	sms      []*gpu.SM
+	banks    []core.Bank
+	mcs      []*dram.Controller
+	reqNet   *interconnect.Network
+	reqBfly  *interconnect.Butterfly // non-nil when cfg.DetailedNoC
+	replyNet *interconnect.Network
+
+	lineMask uint64
+	resident int
+}
+
+// New builds a simulator for the configuration and workload.
+func New(cfg config.GPUConfig, spec workloads.Spec, opts Options) *Simulator {
+	s := &Simulator{
+		cfg:      cfg,
+		spec:     spec,
+		opts:     opts,
+		banks:    make([]core.Bank, cfg.NumBanks),
+		mcs:      make([]*dram.Controller, cfg.NumBanks),
+		reqNet:   interconnect.New(cfg.NumSMs, cfg.NumBanks, cfg.NoCStageCycles),
+		replyNet: interconnect.New(cfg.NumBanks, cfg.NumSMs, cfg.NoCStageCycles),
+		lineMask: uint64(cfg.LineBytes - 1),
+	}
+	if cfg.DetailedNoC {
+		s.reqBfly = interconnect.NewButterfly(cfg.NumSMs, cfg.NumBanks, cfg.NoCStageCycles)
+	}
+	for i := range s.banks {
+		s.mcs[i] = cfg.NewDRAM()
+		s.banks[i] = cfg.NewBank(s.mcs[i])
+		if opts.EnableWriteVariation {
+			switch b := s.banks[i].(type) {
+			case *core.UniformBank:
+				b.Array().EnableWriteVariation()
+			case *core.TwoPartBank:
+				b.LRArray().EnableWriteVariation()
+				b.HRArray().EnableWriteVariation()
+			}
+		}
+	}
+	s.buildSMs(spec)
+	return s
+}
+
+// buildSMs constructs fresh SMs for a kernel launch; the memory system
+// (banks, NoC, DRAM) keeps its state, which is what lets multi-kernel
+// applications observe inter-kernel L2 reuse.
+func (s *Simulator) buildSMs(spec workloads.Spec) {
+	s.spec = spec
+	s.resident = gpu.ResidentWarps(s.cfg.SM, spec.RegsPerThread, spec.ThreadsPerBlock)
+	model := spec.Model()
+	s.sms = make([]*gpu.SM, s.cfg.NumSMs)
+	for i := range s.sms {
+		s.sms[i] = gpu.NewSM(i, s.cfg.SM, model, s, s.resident, i*spec.WarpsPerSM, spec.WarpsPerSM)
+	}
+}
+
+// Access implements gpu.MemSystem: route the request through the request
+// network to its bank, serve it there (including DRAM on miss), and
+// return the reply delivery time at the SM. Banks are interleaved by
+// line; each bank sees a bank-local line address (line / numBanks) so
+// its set index uses the full set range — interleaving by raw address
+// would alias bank-selection bits into the index and waste sets.
+func (s *Simulator) Access(now int64, smID int, addr uint64, write bool) int64 {
+	if s.opts.TraceWriter != nil {
+		// Recording failures (e.g. a full disk) must not corrupt the
+		// simulation; they surface when the writer is flushed.
+		_ = s.opts.TraceWriter.Append(trace.Record{
+			Cycle: now, Addr: addr, SM: uint8(smID), Write: write,
+		})
+	}
+	line := addr / uint64(s.cfg.LineBytes)
+	bank := int(line % uint64(s.cfg.NumBanks))
+	local := line / uint64(s.cfg.NumBanks) * uint64(s.cfg.LineBytes)
+	var arrive int64
+	if s.reqBfly != nil {
+		arrive = s.reqBfly.Deliver(now, smID, bank)
+	} else {
+		arrive = s.reqNet.Deliver(now, bank)
+	}
+	done, _ := s.banks[bank].Access(arrive, local, write)
+	return s.replyNet.DeliverUncontended(done, smID)
+}
+
+// Banks exposes the L2 banks for characterization experiments.
+func (s *Simulator) Banks() []core.Bank { return s.banks }
+
+// MCs exposes the per-bank memory controllers.
+func (s *Simulator) MCs() []*dram.Controller { return s.mcs }
+
+// ReqNet and ReplyNet expose the interconnect halves.
+func (s *Simulator) ReqNet() *interconnect.Network   { return s.reqNet }
+func (s *Simulator) ReplyNet() *interconnect.Network { return s.replyNet }
+
+// ResidentWarps returns the per-SM warp occupancy of this run.
+func (s *Simulator) ResidentWarps() int { return s.resident }
+
+// Result is the outcome of one run.
+type Result struct {
+	Config    string
+	Benchmark string
+
+	Cycles        int64
+	Instructions  uint64
+	IPC           float64
+	ResidentWarps int
+
+	L1    cache.Stats
+	Const cache.Stats    // per-SM constant caches merged
+	Tex   cache.Stats    // per-SM texture caches merged
+	Bank  core.BankStats // all banks merged
+	SM    gpu.SMStats    // all SMs merged
+
+	// L2 power (the paper's Fig. 8b/8c metrics).
+	DynamicEnergyJ float64
+	DynamicPowerW  float64
+	LeakagePowerW  float64
+	TotalPowerW    float64
+	Seconds        float64
+
+	// Power is the per-component breakdown behind the totals.
+	Power power.Breakdown
+}
+
+// Run executes the kernel to completion and returns the result.
+func (s *Simulator) Run() Result {
+	start := int64(0)
+	if s.opts.WarmupInstructions > 0 {
+		start = s.warmup()
+	}
+	end := s.runLoop(start)
+	r := s.finalize(end)
+	if start > 0 {
+		// Report rates over the measured window only.
+		r.Cycles = end - start
+		if r.Cycles > 0 {
+			r.IPC = float64(r.Instructions) / float64(r.Cycles)
+		}
+		r.Seconds = float64(r.Cycles) / s.cfg.ClockHz
+		r.Power = power.FromBanks(s.banks, r.Seconds)
+		r.DynamicPowerW = r.Power.DynamicW()
+		r.TotalPowerW = r.Power.TotalW()
+	}
+	return r
+}
+
+// warmup advances the simulation until the warmup instruction budget is
+// spent, then resets all statistics and returns the boundary cycle.
+func (s *Simulator) warmup() int64 {
+	now := int64(0)
+	for {
+		var instr uint64
+		done := true
+		for _, sm := range s.sms {
+			instr += sm.Stats().Instructions
+			if !sm.Done() {
+				done = false
+			}
+		}
+		if instr >= s.opts.WarmupInstructions || done {
+			break
+		}
+		issued := false
+		for _, sm := range s.sms {
+			if !sm.Done() && sm.Step(now) {
+				issued = true
+			}
+		}
+		if issued {
+			now++
+			continue
+		}
+		next := int64(math.MaxInt64)
+		for _, sm := range s.sms {
+			if sm.Done() {
+				continue
+			}
+			if w := sm.NextWake(now); w < next {
+				next = w
+			}
+		}
+		if next == int64(math.MaxInt64) {
+			break
+		}
+		now = next
+	}
+	for _, sm := range s.sms {
+		sm.ResetStats()
+	}
+	for _, b := range s.banks {
+		b.ResetStats()
+	}
+	return now
+}
+
+// runLoop advances the simulation from the given cycle until every SM
+// retires (or MaxCycles is hit) and returns the final cycle.
+func (s *Simulator) runLoop(start int64) int64 {
+	now := start
+	for {
+		if s.opts.MaxCycles > 0 && now >= s.opts.MaxCycles {
+			break
+		}
+		issued := false
+		done := true
+		for _, sm := range s.sms {
+			if sm.Done() {
+				continue
+			}
+			done = false
+			if sm.Step(now) {
+				issued = true
+			}
+		}
+		if done {
+			break
+		}
+		if issued {
+			now++
+			continue
+		}
+		// Nothing could issue: skip to the next event.
+		next := int64(math.MaxInt64)
+		for _, sm := range s.sms {
+			if sm.Done() {
+				continue
+			}
+			if w := sm.NextWake(now); w < next {
+				next = w
+			}
+		}
+		if next == int64(math.MaxInt64) {
+			break
+		}
+		now = next
+	}
+	return now
+}
+
+func (s *Simulator) finalize(now int64) Result {
+	r := Result{
+		Config:        s.cfg.Name,
+		Benchmark:     s.spec.Name,
+		Cycles:        now,
+		ResidentWarps: s.resident,
+	}
+	r.Bank.RewriteIntervals = core.NewRewriteHistogram()
+	for _, sm := range s.sms {
+		st := sm.Stats()
+		r.Instructions += st.Instructions
+		r.SM.Instructions += st.Instructions
+		r.SM.ALU += st.ALU
+		r.SM.Loads += st.Loads
+		r.SM.Stores += st.Stores
+		r.SM.ConstLoads += st.ConstLoads
+		r.SM.TexLoads += st.TexLoads
+		r.SM.L1WriteEvict += st.L1WriteEvict
+		r.SM.StoreStalls += st.StoreStalls
+		mergeCacheStats(&r.L1, sm.L1Stats())
+		mergeCacheStats(&r.Const, sm.ConstStats())
+		mergeCacheStats(&r.Tex, sm.TexStats())
+	}
+	if now > 0 {
+		r.IPC = float64(r.Instructions) / float64(now)
+	}
+	r.Seconds = float64(now) / s.cfg.ClockHz
+
+	for _, b := range s.banks {
+		b.Tick(now)
+		b.Drain(now)
+		mergeBankStats(&r.Bank, b.Stats())
+	}
+	r.Power = power.FromBanks(s.banks, r.Seconds)
+	r.DynamicEnergyJ = r.Power.DynamicEnergyJ()
+	r.DynamicPowerW = r.Power.DynamicW()
+	r.LeakagePowerW = r.Power.LeakageW
+	r.TotalPowerW = r.Power.TotalW()
+	return r
+}
+
+func mergeCacheStats(dst *cache.Stats, src cache.Stats) {
+	dst.ReadHits += src.ReadHits
+	dst.ReadMisses += src.ReadMisses
+	dst.WriteHits += src.WriteHits
+	dst.WriteMisses += src.WriteMisses
+	dst.Fills += src.Fills
+	dst.Evictions += src.Evictions
+	dst.DirtyEvict += src.DirtyEvict
+	dst.Invalidates += src.Invalidates
+}
+
+func mergeBankStats(dst, src *core.BankStats) {
+	dst.Reads += src.Reads
+	dst.Writes += src.Writes
+	dst.ReadHits += src.ReadHits
+	dst.WriteHits += src.WriteHits
+	dst.LRReadHits += src.LRReadHits
+	dst.LRWriteHits += src.LRWriteHits
+	dst.LRWriteFills += src.LRWriteFills
+	dst.HRReadHits += src.HRReadHits
+	dst.HRWriteHits += src.HRWriteHits
+	dst.HRWriteKept += src.HRWriteKept
+	dst.HRWriteFills += src.HRWriteFills
+	dst.MigrationsToLR += src.MigrationsToLR
+	dst.EvictionsToHR += src.EvictionsToHR
+	dst.Refreshes += src.Refreshes
+	dst.LRExpiryDrops += src.LRExpiryDrops
+	dst.HRExpiries += src.HRExpiries
+	dst.OverflowWritebacks += src.OverflowWritebacks
+	dst.DRAMFills += src.DRAMFills
+	dst.DRAMWritebacks += src.DRAMWritebacks
+	if src.RewriteIntervals != nil {
+		for i, c := range src.RewriteIntervals.Counts {
+			dst.RewriteIntervals.Counts[i] += c
+		}
+		dst.RewriteIntervals.Overflow += src.RewriteIntervals.Overflow
+		dst.RewriteIntervals.N += src.RewriteIntervals.N
+	}
+}
+
+// RunOne is the convenience entry point: build and run in one call.
+func RunOne(cfg config.GPUConfig, spec workloads.Spec, opts Options) Result {
+	return New(cfg, spec, opts).Run()
+}
+
+// Replay drives a recorded L2 access stream through freshly built banks
+// of the given configuration, reproducing the routing and timing the
+// live simulator would apply. It enables offline cache studies: capture
+// one trace, evaluate any bank organization against it. The returned
+// Result carries bank statistics and power; IPC fields are zero (no SMs
+// run during replay).
+func Replay(cfg config.GPUConfig, records []trace.Record) Result {
+	s := New(cfg, workloads.Spec{
+		Name: "replay", FootprintBytes: uint64(cfg.LineBytes), WWSBytes: uint64(cfg.LineBytes),
+		RegsPerThread: 1, ThreadsPerBlock: 32, WarpsPerSM: 1, InstrPerWarp: 1, Grids: 1,
+	}, Options{})
+	var last int64
+	for _, rec := range records {
+		s.Access(rec.Cycle, int(rec.SM), rec.Addr, rec.Write)
+		last = rec.Cycle
+	}
+	r := s.finalize(last)
+	r.Benchmark = "replay"
+	return r
+}
+
+// KernelResult summarizes one kernel launch within an application.
+type KernelResult struct {
+	Benchmark    string
+	StartCycle   int64
+	EndCycle     int64
+	Instructions uint64
+	IPC          float64
+	// L2HitRate covers only this kernel's bank accesses.
+	L2HitRate float64
+}
+
+// AppResult is the outcome of a multi-kernel application run.
+type AppResult struct {
+	App     string
+	Config  string
+	Kernels []KernelResult
+
+	Cycles       int64
+	Instructions uint64
+	IPC          float64
+
+	// Final cumulative state (bank stats and power cover the whole
+	// application).
+	Final Result
+}
+
+// bankTotals snapshots the cumulative hit/access counters of the banks.
+func (s *Simulator) bankTotals() (accesses, hits uint64) {
+	for _, b := range s.banks {
+		st := b.Stats()
+		accesses += st.Reads + st.Writes
+		hits += st.ReadHits + st.WriteHits
+	}
+	return accesses, hits
+}
+
+// RunApp executes a multi-kernel application: kernels launch
+// back-to-back on the same memory system, so the L2 contents written by
+// one kernel are visible to the next.
+func RunApp(cfg config.GPUConfig, app workloads.App, opts Options) AppResult {
+	if len(app.Kernels) == 0 {
+		panic("sim: application has no kernels")
+	}
+	s := New(cfg, app.Kernels[0], opts)
+	ar := AppResult{App: app.Name, Config: cfg.Name}
+	now := int64(0)
+	for ki, spec := range app.Kernels {
+		if ki > 0 {
+			s.buildSMs(spec)
+		}
+		accBefore, hitBefore := s.bankTotals()
+		end := s.runLoop(now)
+		var instr uint64
+		for _, sm := range s.sms {
+			instr += sm.Stats().Instructions
+		}
+		accAfter, hitAfter := s.bankTotals()
+		kr := KernelResult{
+			Benchmark:    spec.Name,
+			StartCycle:   now,
+			EndCycle:     end,
+			Instructions: instr,
+		}
+		if end > now {
+			kr.IPC = float64(instr) / float64(end-now)
+		}
+		if da := accAfter - accBefore; da > 0 {
+			kr.L2HitRate = float64(hitAfter-hitBefore) / float64(da)
+		}
+		ar.Kernels = append(ar.Kernels, kr)
+		ar.Instructions += instr
+		now = end
+	}
+	ar.Cycles = now
+	if now > 0 {
+		ar.IPC = float64(ar.Instructions) / float64(now)
+	}
+	ar.Final = s.finalize(now)
+	ar.Final.Benchmark = app.Name
+	// The final Result's instruction counters only cover the last
+	// kernel's SMs; patch in the application totals.
+	ar.Final.Instructions = ar.Instructions
+	ar.Final.IPC = ar.IPC
+	return ar
+}

@@ -1,0 +1,306 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Errorf("StdDev of one value = %v, want 0", got)
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestCOV(t *testing.T) {
+	if got := COV([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("COV of uniform values = %v, want 0", got)
+	}
+	if got := COV([]float64{0, 0}); got != 0 {
+		t.Errorf("COV with zero mean = %v, want 0", got)
+	}
+	got := COV([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(got, 2.0/5.0, 1e-12) {
+		t.Errorf("COV = %v, want 0.4", got)
+	}
+}
+
+func TestGmean(t *testing.T) {
+	if got := Gmean([]float64{2, 8}); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Gmean(2,8) = %v, want 4", got)
+	}
+	if got := Gmean([]float64{1, -1}); got != 0 {
+		t.Errorf("Gmean with non-positive value = %v, want 0", got)
+	}
+	if got := Gmean(nil); got != 0 {
+		t.Errorf("Gmean(nil) = %v, want 0", got)
+	}
+}
+
+func TestGmeanScaleInvariance(t *testing.T) {
+	// Property: Gmean(k*v) == k*Gmean(v) for k > 0.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		for i, r := range raw {
+			vs[i] = float64(r)/16 + 0.5 // strictly positive
+		}
+		const k = 3.5
+		scaled := make([]float64, len(vs))
+		for i, v := range vs {
+			scaled[i] = k * v
+		}
+		return almostEq(Gmean(scaled), k*Gmean(vs), 1e-9*k*Gmean(vs)+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []float64{0.5, 1, 3, 10, 11, 100} {
+		h.Add(v)
+	}
+	wantCounts := []uint64{2, 1, 1} // <=1: {0.5,1}; <=5: {3}; <=10: {10}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow)
+	}
+	if h.N != 6 {
+		t.Errorf("N = %d, want 6", h.N)
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if fr := h.Fractions(); fr[0] != 0 || fr[1] != 0 || fr[2] != 0 {
+		t.Errorf("empty histogram fractions = %v, want zeros", fr)
+	}
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(3)
+	h.Add(4)
+	fr := h.Fractions()
+	want := []float64{0.25, 0.25, 0.5}
+	for i := range want {
+		if !almostEq(fr[i], want[i], 1e-12) {
+			t.Errorf("fraction[%d] = %v, want %v", i, fr[i], want[i])
+		}
+	}
+}
+
+func TestHistogramCumulativeAndPercentile(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []float64{0.1, 0.2, 4, 6, 20} {
+		h.Add(v)
+	}
+	if got := h.CumulativeFraction(0); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("CumulativeFraction(0) = %v, want 0.4", got)
+	}
+	if got := h.CumulativeFraction(1); !almostEq(got, 0.6, 1e-12) {
+		t.Errorf("CumulativeFraction(1) = %v, want 0.6", got)
+	}
+	if got := h.Percentile(0.5); got != 5 {
+		t.Errorf("Percentile(0.5) = %v, want 5", got)
+	}
+	if got := h.Percentile(0.95); !math.IsInf(got, 1) {
+		t.Errorf("Percentile(0.95) = %v, want +Inf", got)
+	}
+}
+
+func TestHistogramBadEdgesPanics(t *testing.T) {
+	for _, edges := range [][]float64{{}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", edges)
+				}
+			}()
+			NewHistogram(edges...)
+		}()
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	// Property: every added sample lands in exactly one bucket.
+	f := func(samples []float64) bool {
+		h := NewHistogram(0.25, 0.5, 0.75)
+		for _, s := range samples {
+			h.Add(s)
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total+h.Overflow == uint64(len(samples)) && h.N == uint64(len(samples))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteVariationInterSet(t *testing.T) {
+	w := NewWriteVariation(2, 2)
+	// Set 0 gets 4 writes, set 1 gets 0: mean 2, stddev 2, COV 1.
+	w.Record(0, 0)
+	w.Record(0, 0)
+	w.Record(0, 1)
+	w.Record(0, 1)
+	if got := w.InterSetCOV(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("InterSetCOV = %v, want 1", got)
+	}
+	if w.TotalWrites() != 4 {
+		t.Errorf("TotalWrites = %d, want 4", w.TotalWrites())
+	}
+}
+
+func TestWriteVariationIntraSet(t *testing.T) {
+	w := NewWriteVariation(2, 2)
+	// Set 0: ways {4,0} -> COV 1. Set 1: untouched -> skipped.
+	for i := 0; i < 4; i++ {
+		w.Record(0, 0)
+	}
+	if got := w.IntraSetCOV(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("IntraSetCOV = %v, want 1", got)
+	}
+	// Balanced writes -> COV 0.
+	w2 := NewWriteVariation(1, 4)
+	for y := 0; y < 4; y++ {
+		w2.Record(0, y)
+	}
+	if got := w2.IntraSetCOV(); got != 0 {
+		t.Errorf("balanced IntraSetCOV = %v, want 0", got)
+	}
+}
+
+func TestWriteVariationUniformIsZero(t *testing.T) {
+	f := func(perWay uint8) bool {
+		w := NewWriteVariation(4, 2)
+		n := int(perWay%8) + 1
+		for s := 0; s < 4; s++ {
+			for y := 0; y < 2; y++ {
+				for i := 0; i < n; i++ {
+					w.Record(s, y)
+				}
+			}
+		}
+		return w.InterSetCOV() == 0 && w.IntraSetCOV() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	got := Quantiles([]float64{4, 1, 3, 2}, 2)
+	want := []float64{1, 2.5, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Quantiles len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Errorf("quantile[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Quantiles(nil, 4) != nil {
+		t.Error("Quantiles(nil) should be nil")
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(0.162); got != "16.2%" {
+		t.Errorf("FormatPct = %q, want \"16.2%%\"", got)
+	}
+}
+
+func TestWriteVariationAccessors(t *testing.T) {
+	w := NewWriteVariation(3, 2)
+	if w.Sets() != 3 || w.Ways() != 2 {
+		t.Errorf("dims = %dx%d", w.Sets(), w.Ways())
+	}
+	w.Record(1, 0)
+	w.Record(1, 0)
+	if got := w.Writes(1, 0); got != 2 {
+		t.Errorf("Writes(1,0) = %d, want 2", got)
+	}
+	if got := w.Writes(0, 1); got != 0 {
+		t.Errorf("Writes(0,1) = %d, want 0", got)
+	}
+}
+
+func TestWriteVariationPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWriteVariation(%v) did not panic", dims)
+				}
+			}()
+			NewWriteVariation(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestPerSetTotalsAndCOVs(t *testing.T) {
+	w := NewWriteVariation(2, 2)
+	w.Record(0, 0)
+	w.Record(0, 0)
+	w.Record(0, 1)
+	totals := w.PerSetTotals()
+	if len(totals) != 2 || totals[0] != 3 || totals[1] != 0 {
+		t.Errorf("PerSetTotals = %v", totals)
+	}
+	covs := w.PerSetCOVs()
+	if len(covs) != 1 {
+		t.Fatalf("PerSetCOVs = %v, want one written set", covs)
+	}
+	// Ways {2,1}: mean 1.5, stddev 0.5 -> COV 1/3.
+	if !almostEq(covs[0], 1.0/3, 1e-12) {
+		t.Errorf("set COV = %v, want 1/3", covs[0])
+	}
+}
+
+func TestHistogramEmptyCumulativePercentile(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if h.CumulativeFraction(0) != 0 {
+		t.Error("empty cumulative should be 0")
+	}
+	if h.Percentile(0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}

@@ -1,0 +1,33 @@
+package sttram_test
+
+import (
+	"fmt"
+	"time"
+
+	"sttllc/internal/sttram"
+)
+
+// Evaluating a custom retention design point: a 5ms cell sits between
+// the paper's LR (1ms) and HR (40ms) classes in write cost.
+func ExampleNewCell() {
+	c := sttram.NewCell("custom", 5*time.Millisecond)
+	fmt.Printf("Δ = %.1f\n", c.Delta)
+	fmt.Printf("write latency between LR and HR: %v\n",
+		sttram.LRCell().WriteLatency < c.WriteLatency && c.WriteLatency < sttram.HRCell().WriteLatency)
+	fmt.Printf("needs refresh: %v\n", c.NeedsRefresh)
+	// Output:
+	// Δ = 15.4
+	// write latency between LR and HR: true
+	// needs refresh: true
+}
+
+// Sizing the paper's retention counters: 4 bits over the LR part's 1ms
+// retention gives the 62.5µs tick of the "16 KHz" counter.
+func ExampleCounterBits() {
+	tick := sttram.TickPeriod(sttram.RetentionLR, 4)
+	fmt.Println(tick)
+	fmt.Println(sttram.CounterBits(sttram.RetentionLR, tick))
+	// Output:
+	// 62.5µs
+	// 4
+}

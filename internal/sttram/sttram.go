@@ -1,0 +1,270 @@
+// Package sttram models the STT-RAM (spin-torque transfer magnetic RAM)
+// cell at the level of abstraction the paper needs: the tradeoff between
+// the MTJ thermal-stability factor Δ, data-retention time, and write
+// latency/energy, plus the sizing of the per-line retention counters used
+// by the refresh mechanism.
+//
+// The physics follows the thermal-activation model used by the papers the
+// DAC'14 work builds on (Smullen et al. HPCA'11, Sun et al. MICRO'11,
+// Jog et al. DAC'12):
+//
+//	τ = τ0 · e^Δ,  τ0 ≈ 1ns
+//
+// Lowering Δ (by shrinking the MTJ free-layer volume or its anisotropy)
+// shrinks the critical switching current and pulse width, so writes get
+// faster and cheaper, while retention drops exponentially and periodic
+// refresh becomes necessary. Absolute latency/energy numbers are a
+// calibration (the paper's own Table 1 comes from a modified CACTI 6.5);
+// what matters for the reproduction is the published *relationship*:
+// roughly 2x write latency/energy per retention decade between the
+// practical design points.
+package sttram
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Tau0 is the thermal attempt period τ0 of the MTJ free layer.
+const Tau0 = time.Nanosecond
+
+// Retention design points used by the proposed architecture.
+const (
+	// RetentionArchival is the conventional non-volatile STT-RAM target
+	// (Δ ≈ 40): the "safe" cell used by the naive STT-RAM baseline.
+	RetentionArchival = 10 * 365 * 24 * time.Hour
+	// RetentionHR is the relaxed retention of the high-retention (HR)
+	// part of the proposed L2: long enough that >90% of HR-resident
+	// blocks are rewritten or evicted before expiry, so no refresh is
+	// performed there (expired lines are invalidated/written back).
+	RetentionHR = 40 * time.Millisecond
+	// RetentionLR is the retention of the low-retention (LR) part that
+	// hosts the write working set; rewrite intervals are almost always
+	// far below this, and a 4-bit retention counter schedules refresh
+	// for the rare survivors.
+	RetentionLR = 1 * time.Millisecond
+)
+
+// DeltaFromRetention returns the thermal-stability factor Δ needed for
+// the given retention time: Δ = ln(τ/τ0).
+func DeltaFromRetention(retention time.Duration) float64 {
+	if retention <= 0 {
+		return 0
+	}
+	return math.Log(float64(retention) / float64(Tau0))
+}
+
+// RetentionFromDelta returns the retention time τ = τ0·e^Δ. Results above
+// roughly 292 years saturate to the maximum representable duration.
+func RetentionFromDelta(delta float64) time.Duration {
+	ns := math.Exp(delta) // in units of τ0 = 1ns
+	if ns >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ns)
+}
+
+// FailureProb returns the probability that a cell written at t=0 has
+// flipped by time t, under the thermal-activation model
+// P = 1 - exp(-t/τ).
+func FailureProb(t, retention time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if retention <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(-float64(t)/float64(retention))
+}
+
+// Cell describes one STT-RAM design point: a retention class with its
+// timing and energy characteristics at the cache data array.
+type Cell struct {
+	Name      string
+	Delta     float64
+	Retention time.Duration
+
+	// ReadLatency and WriteLatency are array service times for one
+	// block access (decode + sense or decode + write pulse).
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// ReadEnergyPerBit and WriteEnergyPerBit are dynamic energies in
+	// joules per bit accessed.
+	ReadEnergyPerBit  float64
+	WriteEnergyPerBit float64
+
+	// LeakagePerKB is static power of the data array in watts per KB.
+	// Near zero for MTJ arrays (only peripheral leakage remains).
+	LeakagePerKB float64
+
+	// NeedsRefresh reports whether the retention is short enough that
+	// resident data can outlive it during a kernel, requiring retention
+	// counters.
+	NeedsRefresh bool
+}
+
+// Calibration anchors: (Δ, write latency, write energy pJ/bit) for the
+// three design points of Table 1. Between anchors we interpolate linearly
+// in Δ; outside, we clamp. Read cost is retention-independent (sensing
+// does not depend on Δ).
+var anchors = []struct {
+	delta     float64
+	writeLat  time.Duration
+	writePJ   float64 // pJ per bit
+	retention time.Duration
+}{
+	{DeltaFromRetention(RetentionLR), 14300 * time.Nanosecond / 1000, 0.175, RetentionLR},
+	{DeltaFromRetention(RetentionHR), 22900 * time.Nanosecond / 1000, 0.30, RetentionHR},
+	{DeltaFromRetention(RetentionArchival), 42900 * time.Nanosecond / 1000, 0.90, RetentionArchival},
+}
+
+const (
+	sttReadLatency     = 11430 * time.Nanosecond / 1000 // ~8 cycles at 700MHz
+	sttReadPJPerBit    = 0.05                           // pJ/bit
+	sttLeakagePerKB    = 0.03e-3                        // 0.03 mW/KB: peripherals only
+	refreshNeededBelow = time.Hour                      // retention below this requires counters
+)
+
+// NewCell builds the STT-RAM design point for a desired retention time by
+// interpolating the calibration anchors. The name is informational.
+func NewCell(name string, retention time.Duration) Cell {
+	delta := DeltaFromRetention(retention)
+	lat, pj := interpolate(delta)
+	return Cell{
+		Name:              name,
+		Delta:             delta,
+		Retention:         retention,
+		ReadLatency:       sttReadLatency,
+		WriteLatency:      lat,
+		ReadEnergyPerBit:  sttReadPJPerBit * 1e-12,
+		WriteEnergyPerBit: pj * 1e-12,
+		LeakagePerKB:      sttLeakagePerKB,
+		NeedsRefresh:      retention < refreshNeededBelow,
+	}
+}
+
+func interpolate(delta float64) (time.Duration, float64) {
+	a := anchors
+	if delta <= a[0].delta {
+		return a[0].writeLat, a[0].writePJ
+	}
+	if delta >= a[len(a)-1].delta {
+		return a[len(a)-1].writeLat, a[len(a)-1].writePJ
+	}
+	for i := 1; i < len(a); i++ {
+		if delta <= a[i].delta {
+			f := (delta - a[i-1].delta) / (a[i].delta - a[i-1].delta)
+			lat := time.Duration(float64(a[i-1].writeLat) + f*float64(a[i].writeLat-a[i-1].writeLat))
+			pj := a[i-1].writePJ + f*(a[i].writePJ-a[i-1].writePJ)
+			return lat, pj
+		}
+	}
+	return a[len(a)-1].writeLat, a[len(a)-1].writePJ
+}
+
+// ArchivalCell returns the 10-year-retention cell of the naive STT-RAM
+// baseline.
+func ArchivalCell() Cell { return NewCell("STT-10yr", RetentionArchival) }
+
+// HRCell returns the relaxed high-retention cell of the proposed HR part.
+func HRCell() Cell { return NewCell("STT-40ms", RetentionHR) }
+
+// LRCell returns the low-retention cell of the proposed LR part.
+func LRCell() Cell { return NewCell("STT-1ms", RetentionLR) }
+
+// SRAMCell returns an SRAM "cell" in the same representation so the cache
+// model can treat technologies uniformly. SRAM has no retention limit and
+// symmetric, fast accesses, but pays heavy leakage.
+func SRAMCell() Cell {
+	return Cell{
+		Name:              "SRAM",
+		Delta:             math.Inf(1),
+		Retention:         time.Duration(math.MaxInt64),
+		ReadLatency:       11430 * time.Nanosecond / 1000, // 8 cycles at 700MHz
+		WriteLatency:      11430 * time.Nanosecond / 1000,
+		ReadEnergyPerBit:  0.125e-12,
+		WriteEnergyPerBit: 0.125e-12,
+		LeakagePerKB:      1.0e-3, // 1 mW/KB at 40nm
+		NeedsRefresh:      false,
+	}
+}
+
+// EnergyPerBlock returns the dynamic energy in joules of accessing a
+// blockBytes-sized line (read if !write, else write).
+func (c Cell) EnergyPerBlock(blockBytes int, write bool) float64 {
+	bits := float64(blockBytes * 8)
+	if write {
+		return c.WriteEnergyPerBit * bits
+	}
+	return c.ReadEnergyPerBit * bits
+}
+
+// CounterBits returns the number of retention-counter bits needed to get
+// a tick period no longer than tick for the given retention:
+// bits = ceil(log2(retention/tick)). A counter with that many bits,
+// ticking every retention/2^bits, saturates exactly at the retention
+// boundary.
+func CounterBits(retention, tick time.Duration) int {
+	if tick <= 0 || retention <= tick {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(retention) / float64(tick))))
+}
+
+// TickPeriod returns the retention-counter tick period for a counter of
+// the given width: retention / 2^bits.
+func TickPeriod(retention time.Duration, bits int) time.Duration {
+	if bits <= 0 {
+		return retention
+	}
+	return retention / time.Duration(int64(1)<<uint(bits))
+}
+
+// Table1Row is one row of the paper's Table 1: an STT-RAM design point
+// with its refresh requirement.
+type Table1Row struct {
+	Cell    Cell
+	Refresh string // refresh scheme, as in the paper's last column
+}
+
+// Table1 reproduces the paper's Table 1: the three retention classes with
+// their write latencies, write energies (per 256-byte L2 block), and
+// refresh requirements.
+func Table1(blockBytes int) []Table1Row {
+	return []Table1Row{
+		{ArchivalCell(), "none"},
+		{HRCell(), "expire (invalidate/writeback)"},
+		{LRCell(), "per-block counter"},
+	}
+}
+
+// FormatTable1 renders Table 1 as text.
+func FormatTable1(blockBytes int) string {
+	s := fmt.Sprintf("%-10s %8s %12s %10s %10s  %s\n",
+		"Cell", "Delta", "Retention", "W.L(ns)", "W.E(nJ)", "Refreshing")
+	for _, r := range Table1(blockBytes) {
+		s += fmt.Sprintf("%-10s %8.1f %12s %10.1f %10.2f  %s\n",
+			r.Cell.Name, r.Cell.Delta, formatRetention(r.Cell.Retention),
+			float64(r.Cell.WriteLatency)/float64(time.Nanosecond),
+			r.Cell.EnergyPerBlock(blockBytes, true)*1e9,
+			r.Refresh)
+	}
+	return s
+}
+
+func formatRetention(d time.Duration) string {
+	switch {
+	case d >= 365*24*time.Hour:
+		return fmt.Sprintf("%.0f years", float64(d)/float64(365*24*time.Hour))
+	case d >= time.Second:
+		return fmt.Sprintf("%.0f s", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.0f ms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.0f us", float64(d)/float64(time.Microsecond))
+	default:
+		return d.String()
+	}
+}

@@ -1,0 +1,234 @@
+package sttram
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDeltaRetentionRoundTrip(t *testing.T) {
+	for _, r := range []time.Duration{time.Microsecond, time.Millisecond, 40 * time.Millisecond, time.Second} {
+		d := DeltaFromRetention(r)
+		back := RetentionFromDelta(d)
+		ratio := float64(back) / float64(r)
+		if ratio < 0.999 || ratio > 1.001 {
+			t.Errorf("round trip %v -> Δ=%.3f -> %v (ratio %f)", r, d, back, ratio)
+		}
+	}
+}
+
+func TestDeltaValuesMatchLiterature(t *testing.T) {
+	// 10-year retention needs Δ ≈ 40; the relaxed points sit near the
+	// values the multi-retention papers report.
+	tests := []struct {
+		ret  time.Duration
+		want float64
+		tol  float64
+	}{
+		{RetentionArchival, 40.0, 1.0},
+		{RetentionHR, 17.5, 0.5},
+		{RetentionLR, 13.8, 0.5},
+	}
+	for _, tt := range tests {
+		if got := DeltaFromRetention(tt.ret); math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("Delta(%v) = %.2f, want %.1f±%.1f", tt.ret, got, tt.want, tt.tol)
+		}
+	}
+}
+
+func TestRetentionFromDeltaSaturates(t *testing.T) {
+	if got := RetentionFromDelta(100); got != time.Duration(math.MaxInt64) {
+		t.Errorf("huge delta should saturate, got %v", got)
+	}
+}
+
+func TestDeltaFromRetentionNonPositive(t *testing.T) {
+	if got := DeltaFromRetention(0); got != 0 {
+		t.Errorf("DeltaFromRetention(0) = %v, want 0", got)
+	}
+}
+
+func TestFailureProb(t *testing.T) {
+	if p := FailureProb(0, time.Millisecond); p != 0 {
+		t.Errorf("P(0) = %v, want 0", p)
+	}
+	if p := FailureProb(time.Millisecond, 0); p != 1 {
+		t.Errorf("P with zero retention = %v, want 1", p)
+	}
+	// At t = τ the failure probability is 1 - 1/e.
+	p := FailureProb(time.Millisecond, time.Millisecond)
+	if math.Abs(p-(1-1/math.E)) > 1e-9 {
+		t.Errorf("P(τ) = %v, want 1-1/e", p)
+	}
+}
+
+func TestFailureProbMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		t1 := time.Duration(a) * time.Microsecond
+		t2 := t1 + time.Duration(b)*time.Microsecond
+		return FailureProb(t1, RetentionLR) <= FailureProb(t2, RetentionLR)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellOrdering(t *testing.T) {
+	// Lower retention must buy strictly faster and cheaper writes.
+	lr, hr, ar := LRCell(), HRCell(), ArchivalCell()
+	if !(lr.WriteLatency < hr.WriteLatency && hr.WriteLatency < ar.WriteLatency) {
+		t.Errorf("write latency ordering violated: %v %v %v",
+			lr.WriteLatency, hr.WriteLatency, ar.WriteLatency)
+	}
+	if !(lr.WriteEnergyPerBit < hr.WriteEnergyPerBit && hr.WriteEnergyPerBit < ar.WriteEnergyPerBit) {
+		t.Errorf("write energy ordering violated")
+	}
+	if !(lr.Retention < hr.Retention && hr.Retention < ar.Retention) {
+		t.Errorf("retention ordering violated")
+	}
+}
+
+func TestCellRefreshFlags(t *testing.T) {
+	if ArchivalCell().NeedsRefresh {
+		t.Error("archival cell must not need refresh")
+	}
+	if !HRCell().NeedsRefresh || !LRCell().NeedsRefresh {
+		t.Error("relaxed cells must need refresh")
+	}
+	if SRAMCell().NeedsRefresh {
+		t.Error("SRAM must not need refresh")
+	}
+}
+
+func TestSRAMFasterWritesThanSTT(t *testing.T) {
+	sram := SRAMCell()
+	for _, c := range []Cell{LRCell(), HRCell(), ArchivalCell()} {
+		if sram.WriteLatency >= c.WriteLatency {
+			t.Errorf("SRAM write (%v) should beat %s write (%v)", sram.WriteLatency, c.Name, c.WriteLatency)
+		}
+	}
+}
+
+func TestSTTDenserLeakage(t *testing.T) {
+	// The whole point: STT leakage is near zero relative to SRAM.
+	if r := SRAMCell().LeakagePerKB / LRCell().LeakagePerKB; r < 10 {
+		t.Errorf("SRAM/STT leakage ratio = %.1f, want >= 10", r)
+	}
+}
+
+func TestInterpolationMonotone(t *testing.T) {
+	// Write latency/energy must be non-decreasing in retention.
+	f := func(a, b uint8) bool {
+		r1 := time.Duration(1+int64(a)) * 100 * time.Microsecond
+		r2 := r1 + time.Duration(b)*10*time.Millisecond
+		c1, c2 := NewCell("a", r1), NewCell("b", r2)
+		return c1.WriteLatency <= c2.WriteLatency && c1.WriteEnergyPerBit <= c2.WriteEnergyPerBit+1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpolationHitsAnchors(t *testing.T) {
+	if got := LRCell().WriteLatency; got != 14300*time.Nanosecond/1000 {
+		t.Errorf("LR write latency = %v, want 14.3ns", got)
+	}
+	if got := ArchivalCell().WriteLatency; got != 42900*time.Nanosecond/1000 {
+		t.Errorf("archival write latency = %v, want 42.9ns", got)
+	}
+}
+
+func TestEnergyPerBlock(t *testing.T) {
+	c := LRCell()
+	got := c.EnergyPerBlock(256, true)
+	want := c.WriteEnergyPerBit * 256 * 8
+	if math.Abs(got-want) > 1e-18 {
+		t.Errorf("EnergyPerBlock = %v, want %v", got, want)
+	}
+	if r := c.EnergyPerBlock(256, false); r >= got {
+		t.Errorf("read energy (%v) should be below write energy (%v)", r, got)
+	}
+}
+
+func TestCounterBits(t *testing.T) {
+	// The paper's LR retention counter: 4 bits ticking at 16kHz
+	// (62.5µs) covers 1ms retention.
+	if got := CounterBits(RetentionLR, 62500*time.Nanosecond); got != 4 {
+		t.Errorf("LR counter bits = %d, want 4", got)
+	}
+	// The HR counter: 2 bits ticking at 10ms covers 40ms.
+	if got := CounterBits(RetentionHR, 10*time.Millisecond); got != 2 {
+		t.Errorf("HR counter bits = %d, want 2", got)
+	}
+	if got := CounterBits(time.Millisecond, 2*time.Millisecond); got != 1 {
+		t.Errorf("tick>retention should clamp to 1 bit, got %d", got)
+	}
+}
+
+func TestTickPeriod(t *testing.T) {
+	if got := TickPeriod(RetentionLR, 4); got != 62500*time.Nanosecond {
+		t.Errorf("LR tick = %v, want 62.5µs", got)
+	}
+	if got := TickPeriod(RetentionHR, 2); got != 10*time.Millisecond {
+		t.Errorf("HR tick = %v, want 10ms", got)
+	}
+	if got := TickPeriod(time.Second, 0); got != time.Second {
+		t.Errorf("0-bit tick = %v, want full retention", got)
+	}
+}
+
+func TestCounterBitsTickRoundTrip(t *testing.T) {
+	f := func(bitsRaw uint8) bool {
+		bits := int(bitsRaw%6) + 1
+		tick := TickPeriod(RetentionHR, bits)
+		return CounterBits(RetentionHR, tick) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(256)
+	if len(rows) != 3 {
+		t.Fatalf("Table1 rows = %d, want 3", len(rows))
+	}
+	if rows[0].Refresh != "none" {
+		t.Errorf("archival refresh = %q, want none", rows[0].Refresh)
+	}
+	// Rows ordered from highest to lowest retention.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cell.Retention >= rows[i-1].Cell.Retention {
+			t.Errorf("Table1 not ordered by retention at row %d", i)
+		}
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	s := FormatTable1(256)
+	for _, want := range []string{"STT-10yr", "STT-40ms", "STT-1ms", "10 years", "40 ms", "1 ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatTable1 missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatRetention(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{10 * 365 * 24 * time.Hour, "10 years"},
+		{2 * time.Second, "2 s"},
+		{40 * time.Millisecond, "40 ms"},
+		{100 * time.Microsecond, "100 us"},
+		{500 * time.Nanosecond, "500ns"},
+	}
+	for _, tt := range tests {
+		if got := formatRetention(tt.d); got != tt.want {
+			t.Errorf("formatRetention(%v) = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}

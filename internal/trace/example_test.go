@@ -1,0 +1,37 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sttllc/internal/trace"
+)
+
+// Encoding and decoding an access stream: delta-varint encoding keeps
+// dense traces at a few bytes per record.
+func ExampleWriter() {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Append(trace.Record{
+			Cycle: int64(i * 10), Addr: uint64(i) * 256, SM: uint8(i), Write: i%2 == 1,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	recs, err := trace.ReadAll(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range recs {
+		fmt.Printf("cycle=%d addr=%#x sm=%d write=%v\n", r.Cycle, r.Addr, r.SM, r.Write)
+	}
+	// Output:
+	// cycle=0 addr=0x0 sm=0 write=false
+	// cycle=10 addr=0x100 sm=1 write=true
+	// cycle=20 addr=0x200 sm=2 write=false
+}

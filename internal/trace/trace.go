@@ -1,0 +1,190 @@
+// Package trace records and replays L2 access streams in a compact
+// binary format (varint-delta encoded). Recorded traces decouple cache
+// studies from the timing simulator: a trace captured once can be
+// replayed into any bank organization (see sim.Replay), shared, or
+// inspected offline — the GPGPU-Sim workflow the paper's
+// characterization section depends on.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record is one L2-bound memory access.
+type Record struct {
+	// Cycle is the core cycle the access entered the memory system.
+	Cycle int64
+	// Addr is the (line-aligned or raw) physical address.
+	Addr uint64
+	// SM is the issuing streaming multiprocessor.
+	SM uint8
+	// Write distinguishes stores/writebacks from loads.
+	Write bool
+}
+
+// Format constants.
+var magic = [4]byte{'S', 'T', 'T', 'T'}
+
+const version = 1
+
+// ErrBadHeader reports a stream that is not a trace or has an
+// unsupported version.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// Writer encodes records onto an io.Writer. Close (or Flush) must be
+// called to drain the internal buffer.
+type Writer struct {
+	w         *bufio.Writer
+	lastCycle int64
+	count     uint64
+	headerOK  bool
+}
+
+// NewWriter starts a trace stream on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) writeHeader() error {
+	if w.headerOK {
+		return nil
+	}
+	if _, err := w.w.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(version); err != nil {
+		return err
+	}
+	w.headerOK = true
+	return nil
+}
+
+// Append encodes one record. Records must be appended in non-decreasing
+// cycle order (the natural order the simulator produces).
+func (w *Writer) Append(r Record) error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if r.Cycle < w.lastCycle {
+		return fmt.Errorf("trace: cycle %d before previous %d", r.Cycle, w.lastCycle)
+	}
+	var buf [3*binary.MaxVarintLen64 + 2]byte
+	n := binary.PutUvarint(buf[:], uint64(r.Cycle-w.lastCycle))
+	n += binary.PutUvarint(buf[n:], r.Addr)
+	buf[n] = r.SM
+	n++
+	flags := byte(0)
+	if r.Write {
+		flags |= 1
+	}
+	buf[n] = flags
+	n++
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	w.lastCycle = r.Cycle
+	w.count++
+	return nil
+}
+
+// Count returns the number of records appended.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r         *bufio.Reader
+	lastCycle int64
+	headerOK  bool
+}
+
+// NewReader reads a trace stream from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (r *Reader) readHeader() error {
+	if r.headerOK {
+		return nil
+	}
+	var h [5]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return ErrBadHeader
+		}
+		return err
+	}
+	if [4]byte(h[:4]) != magic || h[4] != version {
+		return ErrBadHeader
+	}
+	r.headerOK = true
+	return nil
+}
+
+// Next decodes the next record. It returns io.EOF at a clean end of
+// stream.
+func (r *Reader) Next() (Record, error) {
+	if err := r.readHeader(); err != nil {
+		return Record{}, err
+	}
+	delta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	addr, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, unexpected(err)
+	}
+	sm, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, unexpected(err)
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, unexpected(err)
+	}
+	r.lastCycle += int64(delta)
+	return Record{
+		Cycle: r.lastCycle,
+		Addr:  addr,
+		SM:    sm,
+		Write: flags&1 != 0,
+	}, nil
+}
+
+// ReadAll decodes every record.
+func ReadAll(rd io.Reader) ([]Record, error) {
+	r := NewReader(rd)
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func unexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return out
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	in := []Record{
+		{Cycle: 0, Addr: 0x1000, SM: 3, Write: false},
+		{Cycle: 0, Addr: 0x2000, SM: 0, Write: true},
+		{Cycle: 17, Addr: 0xFFFF_FFFF_0000, SM: 14, Write: true},
+		{Cycle: 1 << 40, Addr: 0, SM: 255, Write: false},
+	}
+	out := roundTrip(t, in)
+	if len(out) != len(in) {
+		t.Fatalf("records = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("record %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	out := roundTrip(t, nil)
+	if len(out) != 0 {
+		t.Errorf("empty trace produced %d records", len(out))
+	}
+}
+
+func TestWriterRejectsTimeTravel(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(Record{Cycle: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Cycle: 99}); err == nil {
+		t.Error("decreasing cycle should be rejected")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		w.Append(Record{Cycle: int64(i)})
+	}
+	if w.Count() != 5 {
+		t.Errorf("Count = %d, want 5", w.Count())
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	for _, data := range [][]byte{
+		{},                       // empty
+		{'S', 'T'},               // truncated magic
+		{'X', 'T', 'T', 'T', 1},  // wrong magic
+		{'S', 'T', 'T', 'T', 99}, // wrong version
+	} {
+		_, err := ReadAll(bytes.NewReader(data))
+		if !errors.Is(err, ErrBadHeader) {
+			t.Errorf("data %v: err = %v, want ErrBadHeader", data, err)
+		}
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Cycle: 5, Addr: 0x123456, SM: 2, Write: true})
+	w.Flush()
+	full := buf.Bytes()
+	// Chop mid-record (after the header plus one byte).
+	_, err := ReadAll(bytes.NewReader(full[:6]))
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated record should fail hard, got %v", err)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Delta encoding keeps dense traces small: sequential accesses at
+	// small strides should cost well under 16 bytes per record.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		w.Append(Record{Cycle: int64(i * 2), Addr: uint64(i) * 256, SM: uint8(i % 15), Write: i%3 == 0})
+	}
+	w.Flush()
+	if per := float64(buf.Len()) / 1000; per > 10 {
+		t.Errorf("%.1f bytes/record, want compact (<10)", per)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(deltas []uint16, addrs []uint32) bool {
+		n := len(deltas)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		in := make([]Record, n)
+		cycle := int64(0)
+		for i := 0; i < n; i++ {
+			cycle += int64(deltas[i])
+			in[i] = Record{
+				Cycle: cycle,
+				Addr:  uint64(addrs[i]),
+				SM:    uint8(addrs[i] % 15),
+				Write: deltas[i]%2 == 0,
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range in {
+			if err := w.Append(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		out, err := ReadAll(&buf)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// failWriter fails after n bytes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterSurfacesIOErrors(t *testing.T) {
+	w := NewWriter(&failWriter{n: 2}) // header cannot fit
+	err := w.Append(Record{Cycle: 1})
+	if err == nil {
+		// The bufio layer may absorb the first writes; Flush must fail.
+		err = w.Flush()
+	}
+	if err == nil {
+		t.Error("writer should surface the underlying I/O error")
+	}
+}
+
+func TestFlushWritesHeaderForEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 5 {
+		t.Errorf("empty trace = %d bytes, want 5 (header)", buf.Len())
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty trace decode = %v, %v", recs, err)
+	}
+}
+
+func TestTruncatedAtEveryByte(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Cycle: 300, Addr: 0x12345678, SM: 9, Write: true})
+	w.Flush()
+	full := buf.Bytes()
+	// cut=5 is a bare header, which decodes as a valid empty trace;
+	// every longer prefix chops mid-record and must fail.
+	for cut := 6; cut < len(full); cut++ {
+		_, err := ReadAll(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Errorf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}
