@@ -1,0 +1,185 @@
+// Command sttbench times the evaluation benchmark suite (the same
+// workloads bench_test.go runs) and records the results as JSON, so
+// each PR leaves a perf trajectory next to the code. Pass a previous
+// output (or any {"name": ns_op} map) as -before to get per-benchmark
+// and whole-suite speedups.
+//
+// Usage:
+//
+//	sttbench                              # measure, write BENCH_engine.json
+//	sttbench -before old.json -o out.json # diff against a prior run
+//	sttbench -iters 10 -count 3           # best-of-3 at 10 iterations each
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sttllc/internal/config"
+	"sttllc/internal/experiments"
+	"sttllc/internal/sim"
+	"sttllc/internal/sttram"
+	"sttllc/internal/workloads"
+)
+
+// benchParams mirrors bench_test.go: reduced scale, short warps.
+func benchParams(benchmarks ...string) experiments.Params {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"hotspot", "lud", "nw"}
+	}
+	return experiments.Params{Scale: 0.05, WarpsPerSM: 6, Benchmarks: benchmarks}
+}
+
+// suite is the benchmark list, one entry per bench_test.go benchmark,
+// each fn being one iteration of the corresponding loop body.
+func suite() []struct {
+	Name string
+	Fn   func()
+} {
+	return []struct {
+		Name string
+		Fn   func()
+	}{
+		{"Table1DeviceModel", func() { sttram.Table1(256); sttram.FormatTable1(256) }},
+		{"Table2Configs", func() { config.Table2(); config.FormatTable2() }},
+		{"Fig3WriteCOV", func() { experiments.Fig3(benchParams("bfs", "stencil")) }},
+		{"Fig4ThresholdSweep", func() { experiments.Fig4(benchParams("bfs"), nil) }},
+		{"Fig5Associativity", func() { experiments.Fig5(benchParams("bfs"), nil) }},
+		{"Fig6RewriteIntervals", func() { experiments.Fig6(benchParams("bfs")) }},
+		{"Fig8aSpeedup", func() { experiments.Fig8(benchParams()) }},
+		{"Fig8bDynamicPower", func() { experiments.Fig8(benchParams("stencil")) }},
+		{"Fig8cTotalPower", func() { experiments.Fig8(benchParams("mum")) }},
+		{"AblationVariants", func() { experiments.Ablation(benchParams("bfs"), nil) }},
+		{"PowerBreakdown", func() { experiments.PowerBreakdown(benchParams("bfs"), "C1") }},
+		{"RetentionSweep", func() { experiments.RetentionSweep(benchParams("bfs"), nil) }},
+		{"LRSizeSweep", func() { experiments.LRSizeSweep(benchParams("bfs")) }},
+		{"ReliabilityAnalysis", func() { experiments.Reliability(benchParams("bfs")) }},
+		{"SimulatorThroughput", func() {
+			spec, _ := workloads.ByName("bfs")
+			spec = spec.Scale(0.05)
+			spec.WarpsPerSM = 6
+			sim.RunOne(config.C1(), spec, sim.Options{})
+		}},
+		{"WearLeveling", func() { experiments.WearLeveling(benchParams("bfs")) }},
+	}
+}
+
+// measure times iters iterations of fn, count times, and returns the
+// best (lowest) ns/op — best-of-N rejects scheduler noise the way a
+// human reads repeated `go test -bench` output.
+func measure(fn func(), iters, count int) int64 {
+	fn() // warm caches and the allocator outside the timed region
+	best := int64(0)
+	for c := 0; c < count; c++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		ns := time.Since(start).Nanoseconds() / int64(iters)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// Entry is one benchmark's record in the output file.
+type Entry struct {
+	Name       string  `json:"name"`
+	BeforeNsOp int64   `json:"before_ns_op,omitempty"`
+	AfterNsOp  int64   `json:"after_ns_op"`
+	Speedup    float64 `json:"speedup,omitempty"`
+}
+
+// Report is the BENCH_engine.json schema.
+type Report struct {
+	Note       string  `json:"note,omitempty"`
+	Iterations int     `json:"iterations"`
+	Count      int     `json:"count"`
+	Benchmarks []Entry `json:"benchmarks"`
+	// Suite sums every benchmark's ns/op (the micro rows contribute
+	// negligibly next to the simulator-driven ones).
+	SuiteBeforeNs int64   `json:"suite_before_ns,omitempty"`
+	SuiteAfterNs  int64   `json:"suite_after_ns"`
+	SuiteSpeedup  float64 `json:"suite_speedup,omitempty"`
+}
+
+// loadBefore reads a baseline: either a prior Report (after_ns_op is
+// used) or a flat {"name": ns_op} map.
+func loadBefore(path string) (map[string]int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err == nil && len(rep.Benchmarks) > 0 {
+		out := make(map[string]int64, len(rep.Benchmarks))
+		for _, e := range rep.Benchmarks {
+			out[e.Name] = e.AfterNsOp
+		}
+		return out, nil
+	}
+	var flat map[string]int64
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return nil, fmt.Errorf("%s: neither a sttbench report nor a name->ns map: %w", path, err)
+	}
+	return flat, nil
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "BENCH_engine.json", "output path")
+		before = flag.String("before", "", "baseline JSON to diff against (prior sttbench output or {name: ns_op})")
+		iters  = flag.Int("iters", 10, "iterations per timed run")
+		count  = flag.Int("count", 3, "timed runs per benchmark (best is kept)")
+		note   = flag.String("note", "", "free-form provenance note stored in the report")
+	)
+	flag.Parse()
+
+	var base map[string]int64
+	if *before != "" {
+		var err error
+		if base, err = loadBefore(*before); err != nil {
+			fmt.Fprintln(os.Stderr, "sttbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := Report{Note: *note, Iterations: *iters, Count: *count}
+	for _, b := range suite() {
+		ns := measure(b.Fn, *iters, *count)
+		e := Entry{Name: b.Name, AfterNsOp: ns}
+		if bn, ok := base[b.Name]; ok && bn > 0 {
+			e.BeforeNsOp = bn
+			e.Speedup = float64(bn) / float64(ns)
+			rep.SuiteBeforeNs += bn
+		}
+		rep.SuiteAfterNs += ns
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Fprintf(os.Stderr, "%-22s %12d ns/op", b.Name, ns)
+		if e.Speedup > 0 {
+			fmt.Fprintf(os.Stderr, "   %.2fx vs baseline", e.Speedup)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if rep.SuiteBeforeNs > 0 {
+		rep.SuiteSpeedup = float64(rep.SuiteBeforeNs) / float64(rep.SuiteAfterNs)
+		fmt.Fprintf(os.Stderr, "suite: %.2fx (%d -> %d ns)\n",
+			rep.SuiteSpeedup, rep.SuiteBeforeNs, rep.SuiteAfterNs)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttbench:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sttbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -121,10 +121,14 @@ type Cache struct {
 
 	sets     int
 	setShift uint // log2(LineBytes)
+	tagShift uint // log2(sets)
 	setMask  uint64
-	lines    []Line // sets*Ways, row-major
-	stamp    uint64
-	rng      uint64 // Random-policy PRNG state
+	// rows holds each set's ways, allocated on first touch. A nil row is
+	// exactly an all-invalid set, so short runs that visit a fraction of
+	// a multi-megabyte array never pay to allocate (or drain) the rest.
+	rows  [][]Line
+	stamp uint64
+	rng   uint64 // Random-policy PRNG state
 
 	Stats Stats
 	// WriteVar, when non-nil, records every write hit and write fill
@@ -156,8 +160,9 @@ func New(capacityBytes, ways, lineBytes int) *Cache {
 		LineBytes:     lineBytes,
 		sets:          sets,
 		setShift:      uint(bits.TrailingZeros(uint(lineBytes))),
+		tagShift:      uint(bits.TrailingZeros(uint(sets))),
 		setMask:       uint64(sets - 1),
-		lines:         make([]Line, sets*ways),
+		rows:          make([][]Line, sets),
 		rng:           0x9E3779B97F4A7C15,
 	}
 }
@@ -168,7 +173,7 @@ func (c *Cache) Sets() int { return c.sets }
 // Index returns the set index and tag of an address.
 func (c *Cache) Index(addr uint64) (set int, tag uint64) {
 	blk := addr >> c.setShift
-	return int(blk & c.setMask), blk >> uint(bits.TrailingZeros(uint(c.sets)))
+	return int(blk & c.setMask), blk >> c.tagShift
 }
 
 // BlockAddr returns the line-aligned address.
@@ -176,9 +181,19 @@ func (c *Cache) BlockAddr(addr uint64) uint64 {
 	return addr &^ (uint64(c.LineBytes) - 1)
 }
 
+// row returns the set's ways, allocating them on first touch.
+func (c *Cache) row(set int) []Line {
+	r := c.rows[set]
+	if r == nil {
+		r = make([]Line, c.Ways)
+		c.rows[set] = r
+	}
+	return r
+}
+
 // line returns the line at (set, way).
 func (c *Cache) line(set, way int) *Line {
-	return &c.lines[set*c.Ways+way]
+	return &c.row(set)[way]
 }
 
 // LineAt returns the line at (set, way) for inspection or targeted
@@ -192,9 +207,9 @@ func (c *Cache) LineAt(set, way int) *Line {
 // no stats). It returns the way and whether it hit.
 func (c *Cache) Probe(addr uint64) (set, way int, hit bool) {
 	set, tag := c.Index(addr)
-	for w := 0; w < c.Ways; w++ {
-		l := c.line(set, w)
-		if l.Valid && l.Tag == tag {
+	lines := c.rows[set] // nil row: all invalid, loop body never runs
+	for w := range lines {
+		if lines[w].Valid && lines[w].Tag == tag {
 			return set, w, true
 		}
 	}
@@ -240,25 +255,13 @@ func (c *Cache) Access(addr uint64, write bool, cycle int64) (hit bool, line *Li
 // Victim returns the way to evict in the set: an invalid way if any,
 // otherwise the line chosen by the replacement policy.
 func (c *Cache) Victim(set int) int {
-	victim := 0
-	var min uint64 = ^uint64(0)
-	for w := 0; w < c.Ways; w++ {
-		l := c.line(set, w)
-		if !l.Valid {
+	lines := c.rows[set]
+	if lines == nil {
+		return 0 // untouched set: every way invalid
+	}
+	for w := range lines {
+		if !lines[w].Valid {
 			return w
-		}
-		var key uint64
-		switch c.Policy {
-		case FIFO:
-			key = l.fill
-		case WearAware:
-			key = uint64(l.Wear)
-		default: // LRU
-			key = l.lru
-		}
-		if key < min {
-			min = key
-			victim = w
 		}
 	}
 	if c.Policy == Random {
@@ -267,6 +270,31 @@ func (c *Cache) Victim(set int) int {
 		c.rng ^= c.rng << 25
 		c.rng ^= c.rng >> 27
 		return int((c.rng * 0x2545F4914F6CDD1D) % uint64(c.Ways))
+	}
+	victim := 0
+	var min uint64 = ^uint64(0)
+	switch c.Policy {
+	case FIFO:
+		for w := range lines {
+			if lines[w].fill < min {
+				min = lines[w].fill
+				victim = w
+			}
+		}
+	case WearAware:
+		for w := range lines {
+			if uint64(lines[w].Wear) < min {
+				min = uint64(lines[w].Wear)
+				victim = w
+			}
+		}
+	default: // LRU
+		for w := range lines {
+			if lines[w].lru < min {
+				min = lines[w].lru
+				victim = w
+			}
+		}
 	}
 	return victim
 }
@@ -338,7 +366,10 @@ func (c *Cache) Invalidate(addr uint64) (ev Evicted, found bool) {
 // InvalidateWay removes the line at (set, way) and returns its final
 // state. Removing an already-invalid way returns a zero Evicted.
 func (c *Cache) InvalidateWay(set, way int) Evicted {
-	l := c.line(set, way)
+	if c.rows[set] == nil {
+		return Evicted{}
+	}
+	l := &c.rows[set][way]
 	if !l.Valid {
 		return Evicted{}
 	}
@@ -352,11 +383,10 @@ func (c *Cache) InvalidateWay(set, way int) Evicted {
 // Dirty after a refresh) but must not invalidate it; use InvalidateWay
 // outside the iteration or via CollectExpired.
 func (c *Cache) Range(fn func(set, way int, l *Line)) {
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.Ways; w++ {
-			l := c.line(s, w)
-			if l.Valid {
-				fn(s, w, l)
+	for s, row := range c.rows {
+		for w := range row {
+			if row[w].Valid {
+				fn(s, w, &row[w])
 			}
 		}
 	}
@@ -385,9 +415,11 @@ func (c *Cache) ValidLines() int {
 // WearCounts returns every line slot's physical write count, in
 // (set, way) order, for endurance analysis.
 func (c *Cache) WearCounts() []float64 {
-	out := make([]float64, len(c.lines))
-	for i := range c.lines {
-		out[i] = float64(c.lines[i].Wear)
+	out := make([]float64, c.sets*c.Ways)
+	for s, row := range c.rows {
+		for w := range row {
+			out[s*c.Ways+w] = float64(row[w].Wear)
+		}
 	}
 	return out
 }
@@ -401,9 +433,7 @@ func (c *Cache) EnableWriteVariation() {
 // Reset clears all lines and statistics but keeps the geometry and any
 // write-variation tracker dimensions.
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = Line{}
-	}
+	c.rows = make([][]Line, c.sets)
 	c.stamp = 0
 	c.rng = 0x9E3779B97F4A7C15
 	c.Stats = Stats{}

@@ -55,6 +55,11 @@ type Bank interface {
 	// calls it at the retention-counter granularity; calling it more
 	// often is harmless.
 	Tick(now int64)
+	// TickPeriod returns the cadence, in cycles, at which the bank wants
+	// Tick driven to keep retention bookkeeping current at simulated
+	// time, or 0 when the bank has no periodic bookkeeping (the
+	// simulation engine then schedules no tick events for it).
+	TickPeriod() int64
 	// Drain flushes dirty state at end of simulation (writebacks are
 	// charged to DRAM but not waited for).
 	Drain(now int64)
@@ -263,15 +268,29 @@ func (p *ports) reset() { *p = ports{} }
 // one DRAM access instead of fetching it repeatedly.
 type mshr struct {
 	inflight map[uint64]int64 // line address -> fill completion cycle
+	lastSeen int64            // latest lookup cycle, for expiry sweeps
+	sweepAt  int              // table size that triggers the next sweep
 }
 
+// mshrSweepLen bounds the table: expired entries (done <= now) already
+// behave as absent, so sweeping them on growth past this size changes no
+// observable behavior — it only keeps the map at the true in-flight
+// population instead of accreting every line ever missed. The trigger
+// doubles relative to the survivors of each sweep, so sweep cost stays
+// amortized O(1) even if the live population exceeds the floor.
+const mshrSweepLen = 256
+
 func newMSHR() *mshr {
-	return &mshr{inflight: make(map[uint64]int64)}
+	return &mshr{
+		inflight: make(map[uint64]int64, mshrSweepLen),
+		sweepAt:  mshrSweepLen,
+	}
 }
 
 // lookup returns the completion cycle of an in-flight fill for addr, if
 // any, pruning completed entries opportunistically.
 func (m *mshr) lookup(addr uint64, now int64) (int64, bool) {
+	m.lastSeen = now
 	done, ok := m.inflight[addr]
 	if !ok {
 		return 0, false
@@ -285,12 +304,25 @@ func (m *mshr) lookup(addr uint64, now int64) (int64, bool) {
 
 // insert records a new in-flight fill.
 func (m *mshr) insert(addr uint64, done int64) {
+	if len(m.inflight) >= m.sweepAt {
+		for a, d := range m.inflight {
+			if d <= m.lastSeen {
+				delete(m.inflight, a)
+			}
+		}
+		m.sweepAt = 2 * len(m.inflight)
+		if m.sweepAt < mshrSweepLen {
+			m.sweepAt = mshrSweepLen
+		}
+	}
 	m.inflight[addr] = done
 }
 
 // reset clears all entries.
 func (m *mshr) reset() {
-	m.inflight = make(map[uint64]int64)
+	m.inflight = make(map[uint64]int64, mshrSweepLen)
+	m.lastSeen = 0
+	m.sweepAt = mshrSweepLen
 }
 
 // writeback issues a dirty-line writeback to DRAM.

@@ -375,15 +375,37 @@ func (b *TwoPartBank) blockAddr(addr uint64) uint64 {
 // performs due refreshes (LR) and expirations (HR). The refresh of an LR
 // block is postponed to the last counter window before its retention
 // boundary, exactly as the paper's RC scheme does.
+//
+// Due scans run merged in boundary-time order (LR before HR on ties), so
+// the global scan sequence is invariant under how catch-up windows are
+// batched: Tick(a) followed by Tick(b) performs exactly the scans of a
+// single Tick(b), in the same order. That invariance is what lets the
+// simulation engine fire periodic bank ticks at simulated time without
+// perturbing results relative to purely access-driven (lazy) ticking.
 func (b *TwoPartBank) Tick(now int64) {
-	for b.lastLRScan+b.lrTickCy <= now {
-		b.lastLRScan += b.lrTickCy
-		b.scanLR(b.lastLRScan)
+	for {
+		nextLR := b.lastLRScan + b.lrTickCy
+		nextHR := b.lastHRScan + b.hrTickCy
+		if nextLR > now && nextHR > now {
+			return
+		}
+		if nextLR <= nextHR {
+			b.lastLRScan = nextLR
+			b.scanLR(nextLR)
+		} else {
+			b.lastHRScan = nextHR
+			b.scanHR(nextHR)
+		}
 	}
-	for b.lastHRScan+b.hrTickCy <= now {
-		b.lastHRScan += b.hrTickCy
-		b.scanHR(b.lastHRScan)
+}
+
+// TickPeriod implements Bank: the retention counters want advancing at
+// least once per counter window, at the finer of the two cadences.
+func (b *TwoPartBank) TickPeriod() int64 {
+	if b.lrTickCy < b.hrTickCy {
+		return b.lrTickCy
 	}
+	return b.hrTickCy
 }
 
 func (b *TwoPartBank) scanLR(now int64) {

@@ -166,6 +166,9 @@ func (b *UniformBank) fill(addr uint64, dirty bool, now int64) {
 // retention bookkeeping.
 func (b *UniformBank) Tick(int64) {}
 
+// TickPeriod implements Bank: no periodic bookkeeping.
+func (b *UniformBank) TickPeriod() int64 { return 0 }
+
 // Drain implements Bank: write back all dirty lines.
 func (b *UniformBank) Drain(now int64) {
 	b.arr.Range(func(set, way int, l *cache.Line) {

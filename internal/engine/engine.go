@@ -1,0 +1,353 @@
+// Package engine is the deterministic event scheduler at the heart of
+// the simulator: a monotonic clock, a binary min-heap for far-future
+// events, a short-horizon timing wheel for the hot next-cycle events the
+// simulation core generates, and per-actor wake registration.
+//
+// Determinism is the engine's contract: events fire strictly ordered by
+// (time, priority, registration sequence), so a simulation driven by the
+// engine replays identically run after run regardless of host load or
+// callback cost. One engine is single-threaded by construction; callers
+// that want parallelism run independent engines (the simulator runs one
+// engine per Simulator, and the experiment harnesses fan whole runs out
+// across workers).
+package engine
+
+import "math/bits"
+
+// Func is an event callback. It receives the engine clock at fire time,
+// which for ordinary events equals the cycle the event was scheduled at.
+type Func func(now int64)
+
+// event is one scheduled callback. dead marks events that were canceled
+// or already fired; they are skipped and pruned lazily.
+type event struct {
+	at   int64
+	prio int32
+	near bool
+	dead bool
+	seq  uint64
+	fn   Func
+}
+
+// wheelSize is the short-horizon window, in cycles, served by the timing
+// wheel. Events scheduled within wheelSize cycles of the clock go into a
+// ring bucket (O(1) insert and drain — the common case: an SM waking
+// next cycle); events further out go to the heap.
+const wheelSize = 64
+
+// Engine is a monotonic event scheduler. The zero value is not ready;
+// use New.
+type Engine struct {
+	now  int64
+	seq  uint64
+	live int
+
+	far   eventHeap
+	wheel [wheelSize][]*event
+	near  int    // live events currently in the wheel
+	mask  uint64 // occupancy bit per wheel bucket (cleared lazily)
+
+	batch []*event // scratch for one same-cycle firing batch
+	free  []*event // recycled events (the hot loop re-arms millions)
+}
+
+// New returns an engine with its clock at start.
+func New(start int64) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the engine clock: the latest cycle passed to RunUntil (or
+// the fire time of the event currently being dispatched).
+func (e *Engine) Now() int64 { return e.now }
+
+// Len returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Len() int { return e.live }
+
+// Schedule registers fn to fire at cycle at (priority 0). Scheduling
+// into the past panics: the engine clock is monotonic.
+func (e *Engine) Schedule(at int64, fn Func) {
+	e.schedule(at, 0, fn)
+}
+
+func (e *Engine) schedule(at int64, prio int32, fn Func) *event {
+	if at < e.now {
+		panic("engine: event scheduled into the past")
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = event{at: at, prio: prio, seq: e.seq, fn: fn}
+	} else {
+		ev = &event{at: at, prio: prio, seq: e.seq, fn: fn}
+	}
+	e.seq++
+	e.live++
+	if at-e.now < wheelSize {
+		ev.near = true
+		i := uint64(at) % wheelSize
+		e.wheel[i] = append(e.wheel[i], ev)
+		e.near++
+		e.mask |= 1 << i
+	} else {
+		e.far.push(ev)
+	}
+	return ev
+}
+
+// recycle returns an event to the freelist. Called exactly once per
+// event, at the moment it leaves its container (fired, or pruned after
+// cancellation).
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+func (e *Engine) cancel(ev *event) {
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	e.live--
+	if ev.near {
+		e.near--
+	}
+}
+
+// Peek returns the fire time of the earliest pending event.
+func (e *Engine) Peek() (at int64, ok bool) {
+	if e.live == 0 {
+		return 0, false
+	}
+	at, ok = e.peekWheel()
+	if top, found := e.peekFar(); found && (!ok || top < at) {
+		at, ok = top, true
+	}
+	return at, ok
+}
+
+// peekWheel scans the ring from the clock forward for the earliest live
+// near event, walking set occupancy bits instead of all 64 buckets.
+// Invariant: every live wheel entry has at in [now, now+wheelSize), and
+// entries sharing a bucket share the same at, so the first live bucket
+// hit is the wheel minimum.
+func (e *Engine) peekWheel() (int64, bool) {
+	if e.near == 0 {
+		return 0, false
+	}
+	base := uint(uint64(e.now) % wheelSize)
+	// Rotate so bit k of rot corresponds to cycle now+k.
+	rot := bits.RotateLeft64(e.mask, -int(base))
+	for rot != 0 {
+		k := bits.TrailingZeros64(rot)
+		i := (base + uint(k)) % wheelSize
+		bucket := e.wheel[i]
+		liveHere := false
+		for _, ev := range bucket {
+			if !ev.dead {
+				liveHere = true
+				break
+			}
+		}
+		if liveHere {
+			return e.now + int64(k), true
+		}
+		for _, ev := range bucket {
+			e.recycle(ev)
+		}
+		e.wheel[i] = bucket[:0] // all dead: reclaim the bucket
+		e.mask &^= 1 << i
+		rot &^= 1 << uint(k)
+	}
+	return 0, false
+}
+
+// peekFar returns the heap minimum, pruning dead tops.
+func (e *Engine) peekFar() (int64, bool) {
+	for len(e.far) > 0 {
+		if e.far[0].dead {
+			e.recycle(e.far.pop())
+			continue
+		}
+		return e.far[0].at, true
+	}
+	return 0, false
+}
+
+// RunUntil advances the clock to limit, firing every event scheduled at
+// or before it in (time, priority, registration) order, and returns the
+// number of events fired. Callbacks may schedule further events,
+// including at already-due times; those fire within the same call.
+func (e *Engine) RunUntil(limit int64) int {
+	if limit < e.now {
+		panic("engine: clock must be monotonic")
+	}
+	fired := 0
+	for e.live > 0 {
+		at, ok := e.Peek()
+		if !ok || at > limit {
+			break
+		}
+		e.now = at
+		fired += e.runBatch(at)
+	}
+	if limit > e.now {
+		e.now = limit
+	}
+	return fired
+}
+
+// runBatch fires every event scheduled at exactly cycle at, in
+// (priority, registration) order.
+func (e *Engine) runBatch(at int64) int {
+	batch := e.batch[:0]
+	i := uint64(at) % wheelSize
+	if len(e.wheel[i]) > 0 {
+		for _, ev := range e.wheel[i] {
+			if !ev.dead && ev.at == at {
+				batch = append(batch, ev)
+			} else {
+				e.recycle(ev)
+			}
+		}
+		e.wheel[i] = e.wheel[i][:0]
+		e.near -= len(batch)
+		e.mask &^= 1 << i
+	}
+	for {
+		top, ok := e.peekFar()
+		if !ok || top != at {
+			break
+		}
+		batch = append(batch, e.far.pop())
+	}
+	// Insertion sort by (priority, sequence): batches are small and
+	// near-sorted (wheel entries arrive in registration order).
+	for j := 1; j < len(batch); j++ {
+		for k := j; k > 0 && less(batch[k], batch[k-1]); k-- {
+			batch[k], batch[k-1] = batch[k-1], batch[k]
+		}
+	}
+	e.batch = batch[:0] // keep capacity for the next batch
+	for _, ev := range batch {
+		ev.dead = true
+		e.live--
+		fn := ev.fn
+		e.recycle(ev)
+		fn(at)
+	}
+	return len(batch)
+}
+
+func less(a, b *event) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+// Waker is a per-actor wake registration: at most one outstanding wake
+// per actor, moved (not duplicated) by WakeAt. Actors with lower
+// priority fire first among same-cycle wakes — the simulator assigns
+// each SM its ID so same-cycle steps keep hardware order.
+//
+// Invariant: ev is non-nil exactly while a registration is live. The
+// fire wrapper clears it before invoking the callback, so a recycled
+// event is never aliased through a stale Waker reference.
+type Waker struct {
+	e    *Engine
+	prio int32
+	fn   Func
+	ev   *event
+}
+
+// NewWaker registers an actor callback with a fixed priority.
+func (e *Engine) NewWaker(prio int32, fn Func) *Waker {
+	w := &Waker{e: e, prio: prio}
+	w.fn = func(now int64) {
+		w.ev = nil
+		fn(now)
+	}
+	return w
+}
+
+// WakeAt schedules (or moves) the actor's single outstanding wake to
+// cycle at.
+func (w *Waker) WakeAt(at int64) {
+	if w.ev != nil {
+		if w.ev.at == at {
+			return
+		}
+		w.e.cancel(w.ev)
+	}
+	w.ev = w.e.schedule(at, w.prio, w.fn)
+}
+
+// Cancel withdraws the outstanding wake, if any.
+func (w *Waker) Cancel() {
+	if w.ev != nil {
+		w.e.cancel(w.ev)
+		w.ev = nil
+	}
+}
+
+// Next returns the cycle of the outstanding wake, or ok=false when none
+// is scheduled.
+func (w *Waker) Next() (int64, bool) {
+	if w.ev == nil {
+		return 0, false
+	}
+	return w.ev.at, true
+}
+
+// eventHeap is a plain binary min-heap on (at, prio, seq). Hand-rolled
+// rather than container/heap to avoid interface boxing on the hot path.
+type eventHeap []*event
+
+func heapLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return less(a, b)
+}
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = nil
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && heapLess(s[l], s[min]) {
+			min = l
+		}
+		if r < len(s) && heapLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}

@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(0)
+	var got []int64
+	for _, at := range []int64{5, 3, 9, 3, 7} {
+		at := at
+		e.Schedule(at, func(now int64) {
+			if now != at {
+				t.Errorf("event scheduled for %d fired at %d", at, now)
+			}
+			got = append(got, at)
+		})
+	}
+	if n := e.RunUntil(10); n != 5 {
+		t.Fatalf("fired %d events, want 5", n)
+	}
+	want := []int64{3, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 10 || e.Len() != 0 {
+		t.Errorf("after run: now=%d len=%d", e.Now(), e.Len())
+	}
+}
+
+func TestSameCycleTieBreaks(t *testing.T) {
+	// Same cycle: lower priority first; same priority: registration order.
+	e := New(0)
+	var got []string
+	e.schedule(4, 2, func(int64) { got = append(got, "p2-first") })
+	e.schedule(4, 1, func(int64) { got = append(got, "p1") })
+	e.schedule(4, 2, func(int64) { got = append(got, "p2-second") })
+	e.RunUntil(4)
+	want := []string{"p1", "p2-first", "p2-second"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie-break order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFarAndNearMerge(t *testing.T) {
+	// Events far beyond the wheel horizon must interleave correctly with
+	// near events as the clock advances.
+	e := New(0)
+	var got []int64
+	for _, at := range []int64{1, 63, 64, 200, 1000, 65} {
+		e.Schedule(at, func(now int64) { got = append(got, now) })
+	}
+	e.RunUntil(5000)
+	want := []int64{1, 63, 64, 65, 200, 1000}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCallbackSchedulesDueEvent(t *testing.T) {
+	// A callback scheduling at an already-due time fires within the same
+	// RunUntil call (the self-rescheduling periodic-tick pattern).
+	e := New(0)
+	var ticks []int64
+	var tick Func
+	tick = func(now int64) {
+		ticks = append(ticks, now)
+		if now < 50 {
+			e.Schedule(now+10, tick)
+		}
+	}
+	e.Schedule(10, tick)
+	e.RunUntil(100)
+	want := []int64{10, 20, 30, 40, 50}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	e := New(0)
+	if _, ok := e.Peek(); ok {
+		t.Error("empty engine has a peek")
+	}
+	e.Schedule(500, func(int64) {}) // far
+	e.Schedule(7, func(int64) {})   // near
+	if at, ok := e.Peek(); !ok || at != 7 {
+		t.Errorf("peek = %d,%v want 7,true", at, ok)
+	}
+	e.RunUntil(7)
+	if at, ok := e.Peek(); !ok || at != 500 {
+		t.Errorf("peek = %d,%v want 500,true", at, ok)
+	}
+}
+
+func TestMonotonicPanics(t *testing.T) {
+	e := New(100)
+	for name, fn := range map[string]func(){
+		"schedule-past": func() { e.Schedule(99, func(int64) {}) },
+		"run-backwards": func() { e.RunUntil(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWakerMoveAndCancel(t *testing.T) {
+	e := New(0)
+	fired := 0
+	w := e.NewWaker(0, func(int64) { fired++ })
+	w.WakeAt(10)
+	w.WakeAt(5) // moves, not duplicates
+	if at, ok := w.Next(); !ok || at != 5 {
+		t.Fatalf("next = %d,%v want 5,true", at, ok)
+	}
+	e.RunUntil(20)
+	if fired != 1 {
+		t.Fatalf("waker fired %d times, want 1", fired)
+	}
+	if _, ok := w.Next(); ok {
+		t.Error("consumed wake still pending")
+	}
+
+	w.WakeAt(30)
+	w.Cancel()
+	e.RunUntil(40)
+	if fired != 1 || e.Len() != 0 {
+		t.Errorf("cancel leaked: fired=%d len=%d", fired, e.Len())
+	}
+}
+
+func TestWakerSameTimeIsNoop(t *testing.T) {
+	e := New(0)
+	fired := 0
+	w := e.NewWaker(0, func(int64) { fired++ })
+	w.WakeAt(5)
+	w.WakeAt(5)
+	w.WakeAt(5)
+	if e.Len() != 1 {
+		t.Fatalf("re-arming at the same cycle duplicated events: len=%d", e.Len())
+	}
+	e.RunUntil(5)
+	if fired != 1 {
+		t.Errorf("fired %d, want 1", fired)
+	}
+}
+
+func TestWakerPriorityOrder(t *testing.T) {
+	e := New(0)
+	var got []int32
+	var ws []*Waker
+	for prio := int32(4); prio >= 0; prio-- {
+		prio := prio
+		ws = append(ws, e.NewWaker(prio, func(int64) { got = append(got, prio) }))
+	}
+	for _, w := range ws {
+		w.WakeAt(3)
+	}
+	e.RunUntil(3)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("wakes out of priority order: %v", got)
+		}
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	// Fuzz the engine against a naive reference: N events at random
+	// times, random cancellations, fired order must match a stable sort
+	// by (at, seq).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := New(0)
+		type ref struct {
+			at  int64
+			seq int
+		}
+		var want []ref
+		var got []ref
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			at := int64(rng.Intn(500))
+			i := i
+			want = append(want, ref{at, i})
+			e.Schedule(at, func(now int64) { got = append(got, ref{now, i}) })
+		}
+		// Stable sort the reference by time (registration order breaks ties).
+		for a := 1; a < len(want); a++ {
+			for b := a; b > 0 && want[b].at < want[b-1].at; b-- {
+				want[b], want[b-1] = want[b-1], want[b]
+			}
+		}
+		e.RunUntil(500)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: event %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWheelBucketReuseAfterJump(t *testing.T) {
+	// A canceled near event must not pollute its bucket for later events
+	// that hash to the same slot after a big clock jump.
+	e := New(0)
+	w := e.NewWaker(0, func(int64) { t.Error("canceled wake fired") })
+	w.WakeAt(10)
+	w.Cancel()
+	e.RunUntil(70)
+	fired := false
+	e.Schedule(74, func(now int64) { fired = now == 74 }) // bucket 10 again
+	e.RunUntil(100)
+	if !fired {
+		t.Error("event in reused bucket did not fire")
+	}
+}
+
+func BenchmarkScheduleNear(b *testing.B) {
+	e := New(0)
+	fn := func(int64) {}
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+1, fn)
+		e.RunUntil(e.Now() + 1)
+	}
+}
+
+func BenchmarkWakerChurn(b *testing.B) {
+	// The simulator's hot pattern: 15 actors re-arming short wakes.
+	e := New(0)
+	const actors = 15
+	ws := make([]*Waker, actors)
+	for i := range ws {
+		ws[i] = e.NewWaker(int32(i), func(int64) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := e.Now()
+		for _, w := range ws {
+			w.WakeAt(now + 1 + int64(i%7))
+		}
+		e.RunUntil(now + 1)
+	}
+}

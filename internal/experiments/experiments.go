@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 
@@ -72,10 +74,84 @@ func run(cfg config.GPUConfig, spec workloads.Spec, p Params) sim.Result {
 	return sim.RunOne(cfg, spec, p.opts())
 }
 
+// runPanic is a panic captured from one benchmark evaluation: which
+// spec blew up, the original panic value, and the goroutine stack at
+// the panic site. It is what forEachSpec re-panics with, so callers
+// recovering a sweep failure can tell exactly which run died.
+type runPanic struct {
+	Index int
+	Spec  string
+	Value any
+	Stack []byte
+}
+
+func (rp *runPanic) Error() string {
+	return fmt.Sprintf("experiments: benchmark %q (index %d) panicked: %v\n%s",
+		rp.Spec, rp.Index, rp.Value, rp.Stack)
+}
+
+// group is a hand-rolled errgroup: a bounded worker pool that runs
+// submitted tasks to completion and collects any panics instead of
+// letting one torn-down goroutine crash the process before sibling
+// runs finish. (The real errgroup module is an external dependency;
+// this is the subset the sweeps need.)
+type group struct {
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	panics []*runPanic
+}
+
+func newGroup(workers int) *group {
+	if workers < 1 {
+		workers = 1
+	}
+	return &group{sem: make(chan struct{}, workers)}
+}
+
+// Go runs task on a worker slot, blocking the submitter while every
+// slot is busy. With one slot, tasks therefore run one at a time in
+// submission order — the serial path is the same code path.
+func (g *group) Go(index int, spec string, task func()) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				g.mu.Lock()
+				g.panics = append(g.panics, &runPanic{
+					Index: index, Spec: spec, Value: v, Stack: debug.Stack(),
+				})
+				g.mu.Unlock()
+			}
+			<-g.sem
+			g.wg.Done()
+		}()
+		task()
+	}()
+}
+
+// Wait blocks until every submitted task has finished, then — if any
+// panicked — re-panics with the lowest-index capture, matching the
+// panic a serial sweep would have surfaced first. Sibling runs always
+// complete before the re-raise, so their deposited results are intact.
+func (g *group) Wait() {
+	g.wg.Wait()
+	if len(g.panics) == 0 {
+		return
+	}
+	sort.Slice(g.panics, func(i, j int) bool { return g.panics[i].Index < g.panics[j].Index })
+	panic(g.panics[0])
+}
+
 // forEachSpec evaluates fn once per benchmark, fanning benchmarks out
 // across a bounded worker pool. fn receives the spec's index so callers
-// can deposit results deterministically; the per-benchmark work inside
-// fn must not share mutable state across indices.
+// can deposit results deterministically into index-addressed slots —
+// result ordering never depends on completion order, which is why
+// Parallel=1 and Parallel=N render byte-identical report tables. The
+// per-benchmark work inside fn must not share mutable state across
+// indices. A panicking fn does not abort the sweep: every other run
+// completes, then the lowest-index panic is re-raised as a *runPanic.
 func forEachSpec(p Params, fn func(i int, spec workloads.Spec)) {
 	specs := p.specs()
 	workers := p.Parallel
@@ -85,28 +161,12 @@ func forEachSpec(p Params, fn func(i int, spec workloads.Spec)) {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
-	if workers <= 1 {
-		for i, spec := range specs {
-			fn(i, spec)
-		}
-		return
+	g := newGroup(workers)
+	for i, spec := range specs {
+		i, spec := i, spec
+		g.Go(i, spec.Name, func() { fn(i, spec) })
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				fn(i, specs[i])
-			}
-		}()
-	}
-	for i := range specs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	g.Wait()
 }
 
 // header renders a fixed-width table header line plus separator.

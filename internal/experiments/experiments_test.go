@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"sttllc/internal/workloads"
 )
 
 // tiny returns parameters that keep experiment tests fast: a few
@@ -249,6 +254,101 @@ func TestParallelismDoesNotChangeResults(t *testing.T) {
 	for _, cfg := range Fig8Configs {
 		if a.GmeanSpeedup[cfg] != b.GmeanSpeedup[cfg] {
 			t.Errorf("gmean differs for %s", cfg)
+		}
+	}
+	// The rendered report tables must be byte-identical, not merely
+	// value-equal: deposits are index-addressed, so completion order
+	// can never leak into the output.
+	for _, render := range []struct {
+		name string
+		fn   func(Fig8Result) string
+	}{
+		{"Fig8a", FormatFig8a}, {"Fig8b", FormatFig8b}, {"Fig8c", FormatFig8c},
+	} {
+		if sa, sb := render.fn(a), render.fn(b); sa != sb {
+			t.Errorf("%s table differs between Parallel=1 and Parallel=4:\n%s\nvs\n%s",
+				render.name, sa, sb)
+		}
+	}
+}
+
+func TestForEachSpecClampsWorkersToSpecCount(t *testing.T) {
+	// Parallel far above the spec count: the pool must clamp to
+	// len(specs), never hold more runs in flight than there are specs,
+	// and still visit every index exactly once.
+	p := tiny("bfs", "hotspot")
+	p.Parallel = 64
+	var mu sync.Mutex
+	inFlight, maxInFlight := 0, 0
+	got := map[int]string{}
+	forEachSpec(p, func(i int, spec workloads.Spec) {
+		mu.Lock()
+		inFlight++
+		if inFlight > maxInFlight {
+			maxInFlight = inFlight
+		}
+		if prev, dup := got[i]; dup {
+			t.Errorf("index %d visited twice (%s, %s)", i, prev, spec.Name)
+		}
+		got[i] = spec.Name
+		mu.Unlock()
+		time.Sleep(time.Millisecond) // let would-be extra workers pile up
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+	})
+	if len(got) != 2 || got[0] != "bfs" || got[1] != "hotspot" {
+		t.Errorf("visited = %v, want {0:bfs 1:hotspot}", got)
+	}
+	if maxInFlight > 2 {
+		t.Errorf("max in-flight runs = %d, want <= len(specs) = 2", maxInFlight)
+	}
+}
+
+func TestForEachSpecPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := tiny("bfs", "hotspot", "nw", "stencil")
+		p.Parallel = workers
+		var mu sync.Mutex
+		completed := map[int]bool{}
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("Parallel=%d: panic in fn did not propagate", workers)
+				}
+				rp, ok := v.(*runPanic)
+				if !ok {
+					t.Fatalf("Parallel=%d: recovered %T, want *runPanic", workers, v)
+				}
+				// Two runs panic (indices 1 and 2); the re-raise must be
+				// the lowest index, as a serial sweep would surface it.
+				if rp.Index != 1 || rp.Spec != "hotspot" {
+					t.Errorf("Parallel=%d: re-raised panic from %q index %d, want hotspot index 1",
+						workers, rp.Spec, rp.Index)
+				}
+				if rp.Value != "boom-1" {
+					t.Errorf("Parallel=%d: panic value = %v, want boom-1", workers, rp.Value)
+				}
+				if len(rp.Stack) == 0 {
+					t.Errorf("Parallel=%d: no stack captured", workers)
+				}
+				if msg := rp.Error(); !strings.Contains(msg, "hotspot") || !strings.Contains(msg, "boom-1") {
+					t.Errorf("Parallel=%d: Error() = %q missing spec or value", workers, msg)
+				}
+			}()
+			forEachSpec(p, func(i int, spec workloads.Spec) {
+				if i == 1 || i == 2 {
+					panic(fmt.Sprintf("boom-%d", i))
+				}
+				mu.Lock()
+				completed[i] = true
+				mu.Unlock()
+			})
+		}()
+		// Sibling runs must have completed despite the panics.
+		if !completed[0] || !completed[3] {
+			t.Errorf("Parallel=%d: surviving runs did not complete: %v", workers, completed)
 		}
 	}
 }

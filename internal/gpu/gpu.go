@@ -15,6 +15,7 @@ package gpu
 
 import (
 	"math"
+	"math/bits"
 
 	"sttllc/internal/cache"
 )
@@ -234,8 +235,26 @@ type SM struct {
 
 	credits   int
 	creditRet []int64 // outstanding store completion times
+	creditMin int64   // earliest entry in creditRet (MaxInt64 when empty)
+
+	// Round-robin issue bookkeeping: every non-retired slot is either in
+	// the ready mask (wake has passed) or in the sleep heap (wake in the
+	// future), exactly once. Warp state mutates only inside Step, so the
+	// mask cannot go stale between calls. Disabled (useMask=false) when
+	// the slot count exceeds 64 or the scheduler is GTO.
+	ready    uint64
+	soon     uint64    // slots waking at maskTime+1 (merged on the next Step)
+	maskTime int64     // cycle of the last stepMask call
+	sleep    []sleeper // min-heap ordered by wake
+	useMask  bool
 
 	stats SMStats
+}
+
+// sleeper is a sleep-heap entry: a warp slot and the cycle it wakes.
+type sleeper struct {
+	wake int64
+	slot int32
 }
 
 // NewSM builds an SM running jobs [firstJob, firstJob+numJobs) of the
@@ -260,9 +279,19 @@ func NewSM(id int, cfg SMConfig, model KernelModel, mem MemSystem, resident, fir
 		nextJob:    firstJob,
 		lastJob:    firstJob + numJobs,
 		credits:    cfg.StoreCredits,
+		creditMin:  math.MaxInt64,
 	}
 	for i := range s.warps {
 		s.activate(i)
+	}
+	s.useMask = len(s.warps) <= 64 && cfg.Scheduler == RoundRobin
+	if s.useMask {
+		s.maskTime = -1
+		for i := range s.warps {
+			if !s.warps[i].retired {
+				s.ready |= 1 << uint(i)
+			}
+		}
 	}
 	return s
 }
@@ -278,16 +307,25 @@ func (s *SM) activate(i int) {
 }
 
 // reclaimCredits returns store credits whose writes completed by now.
+// The cached minimum makes the common nothing-due case one compare.
 func (s *SM) reclaimCredits(now int64) {
+	if s.creditMin > now {
+		return
+	}
 	live := s.creditRet[:0]
+	min := int64(math.MaxInt64)
 	for _, t := range s.creditRet {
 		if t > now {
 			live = append(live, t)
+			if t < min {
+				min = t
+			}
 		} else {
 			s.credits++
 		}
 	}
 	s.creditRet = live
+	s.creditMin = min
 }
 
 // Step lets the SM issue at most one warp instruction at cycle now and
@@ -297,15 +335,180 @@ func (s *SM) Step(now int64) bool {
 	if s.cfg.Scheduler == GTO {
 		return s.stepGTO(now)
 	}
+	if s.useMask {
+		return s.stepMask(now)
+	}
 	n := len(s.warps)
+	i := s.rr
 	for k := 0; k < n; k++ {
-		i := (s.rr + k) % n
-		if s.tryIssue(now, i) {
-			s.rr = (i + 1) % n
+		// Hoisted not-ready rejection: skip sleeping and retired warps
+		// without the tryIssue call (identical to its first check).
+		if w := &s.warps[i]; !w.retired && w.wake <= now && s.tryIssue(now, i) {
+			s.rr = i + 1
+			if s.rr == n {
+				s.rr = 0
+			}
 			return true
+		}
+		i++
+		if i == n {
+			i = 0
 		}
 	}
 	return false
+}
+
+// stepMask is the round-robin scan over the ready mask. It visits exactly
+// the slots the linear scan would call tryIssue on, in the same order:
+// ready bits >= rr ascending, then ready bits < rr ascending. Snapshot
+// masks are safe because tryIssue only mutates the slot it is given.
+func (s *SM) stepMask(now int64) bool {
+	if now != s.maskTime {
+		// Time moved on: everything parked for "one cycle later" is now
+		// due (wake was maskTime+1 <= now), as are expired sleepers.
+		s.ready |= s.soon
+		s.soon = 0
+		s.maskTime = now
+		for len(s.sleep) > 0 && s.sleep[0].wake <= now {
+			s.ready |= 1 << uint(s.popSleep())
+		}
+	}
+	start := uint(s.rr)
+	m := s.ready &^ (1<<start - 1)
+	for pass := 0; ; pass++ {
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			if s.tryIssue(now, i) {
+				if w := &s.warps[i]; w.wake > now {
+					s.ready &^= 1 << uint(i)
+					if w.wake == now+1 {
+						s.soon |= 1 << uint(i)
+					} else {
+						s.pushSleep(w.wake, int32(i))
+					}
+				}
+				s.rr = i + 1
+				if s.rr == len(s.warps) {
+					s.rr = 0
+				}
+				return true
+			}
+			// Failed issue: a retired slot leaves the circuit; a
+			// credit-stalled or freshly activated slot stays ready.
+			if s.warps[i].retired {
+				s.ready &^= 1 << uint(i)
+			}
+		}
+		if pass == 1 {
+			return false
+		}
+		m = s.ready & (1<<start - 1)
+	}
+}
+
+// RunAhead advances the SM alone through cycles [from, limit), committing
+// only cycles that provably match the reference scan and touch no shared
+// state: the round-robin-first ready warp issues an ALU instruction with
+// no preceding side effect. It returns the first cycle it could not
+// commit — the caller must run the SM normally at that cycle.
+//
+// The probe either commits a whole cycle or leaves it untouched. A fetched
+// memory instruction is stashed in the warp's pending slot (turning the
+// destructive fetch into a peek — tryIssue consumes pending first), an
+// exhausted stream is left for the real step to re-fetch and activate
+// (Next is idempotent past exhaustion), and a warp that already holds a
+// pending instruction stops the batch before any store-stall accounting
+// could be owed. Credit reclaim is deferred: no committed cycle reads or
+// writes credits, and every real step reclaims before deciding anything.
+func (s *SM) RunAhead(from, limit int64) int64 {
+	if !s.useMask {
+		return from
+	}
+	t := from
+	for t < limit {
+		if t != s.maskTime {
+			s.ready |= s.soon
+			s.soon = 0
+			s.maskTime = t
+			for len(s.sleep) > 0 && s.sleep[0].wake <= t {
+				s.ready |= 1 << uint(s.popSleep())
+			}
+		}
+		start := uint(s.rr)
+		m := s.ready &^ (1<<start - 1)
+		if m == 0 {
+			m = s.ready & (1<<start - 1)
+			if m == 0 {
+				return t
+			}
+		}
+		slot := bits.TrailingZeros64(m)
+		w := &s.warps[slot]
+		if w.hasPend {
+			return t
+		}
+		instr, ok := w.stream.Next()
+		if !ok {
+			return t
+		}
+		if instr.Kind != InstrALU {
+			w.pending, w.hasPend = instr, true
+			return t
+		}
+		// Commit: the tryIssue/execute ALU path, inlined.
+		s.stats.Instructions++
+		s.stats.ALU++
+		w.wake = t + 1
+		s.lastIssued = slot
+		s.ready &^= 1 << uint(slot)
+		s.soon |= 1 << uint(slot)
+		s.rr = slot + 1
+		if s.rr == len(s.warps) {
+			s.rr = 0
+		}
+		t++
+	}
+	return t
+}
+
+// pushSleep inserts a slot into the sleep heap.
+func (s *SM) pushSleep(wake int64, slot int32) {
+	s.sleep = append(s.sleep, sleeper{wake, slot})
+	i := len(s.sleep) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.sleep[p].wake <= s.sleep[i].wake {
+			break
+		}
+		s.sleep[p], s.sleep[i] = s.sleep[i], s.sleep[p]
+		i = p
+	}
+}
+
+// popSleep removes and returns the slot with the earliest wake.
+func (s *SM) popSleep() int32 {
+	slot := s.sleep[0].slot
+	last := len(s.sleep) - 1
+	s.sleep[0] = s.sleep[last]
+	s.sleep = s.sleep[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		c := l
+		if r := l + 1; r < last && s.sleep[r].wake < s.sleep[l].wake {
+			c = r
+		}
+		if s.sleep[i].wake <= s.sleep[c].wake {
+			break
+		}
+		s.sleep[i], s.sleep[c] = s.sleep[c], s.sleep[i]
+		i = c
+	}
+	return slot
 }
 
 // stepGTO implements greedy-then-oldest issue: stay with the last-issued
@@ -314,7 +517,7 @@ func (s *SM) Step(now int64) bool {
 func (s *SM) stepGTO(now int64) bool {
 	var visited uint64
 	if s.lastIssued >= 0 {
-		if s.tryIssue(now, s.lastIssued) {
+		if w := &s.warps[s.lastIssued]; !w.retired && w.wake <= now && s.tryIssue(now, s.lastIssued) {
 			return true
 		}
 		visited |= 1 << uint(s.lastIssued)
@@ -343,14 +546,12 @@ func (s *SM) stepGTO(now int64) bool {
 	}
 }
 
-// tryIssue attempts to issue one instruction from warp slot i. It
-// returns false when the slot cannot issue this cycle (blocked, retired,
-// stream exhausted, or stalled on store credits).
+// tryIssue attempts to issue one instruction from warp slot i. The
+// caller has already established the slot is awake and not retired; it
+// returns false when the slot still cannot issue this cycle (stream
+// exhausted, or stalled on store credits).
 func (s *SM) tryIssue(now int64, i int) bool {
 	w := &s.warps[i]
-	if w.retired || w.wake > now {
-		return false
-	}
 	instr, ok := w.pending, w.hasPend
 	if !ok {
 		instr, ok = w.stream.Next()
@@ -405,6 +606,9 @@ func (s *SM) execute(now int64, w *warpCtx, in Instr) {
 		done := s.storeToMem(now, in)
 		s.credits--
 		s.creditRet = append(s.creditRet, done)
+		if done < s.creditMin {
+			s.creditMin = done
+		}
 		w.wake = now + 1 // stores do not block the warp
 	}
 }
@@ -484,6 +688,28 @@ func (s *SM) NextWake(now int64) int64 {
 		return now + 1
 	}
 	return min
+}
+
+// AccrueStoreStalls settles the store-stall statistic for cycles the
+// simulation loop visited while this SM slept. A per-cycle loop reaches
+// a credit-blocked SM every visited cycle and charges one stall per
+// pending store warp per attempt; an event-driven loop skips those
+// no-op attempts entirely and charges the identical amount here when
+// the SM next steps. Warp and credit state are frozen while an SM
+// sleeps (nothing mutates them outside Step), so today's pending-warp
+// count is exact for every skipped cycle.
+func (s *SM) AccrueStoreStalls(cycles int64) {
+	if cycles <= 0 || s.credits != 0 {
+		return
+	}
+	blocked := uint64(0)
+	for i := range s.warps {
+		w := &s.warps[i]
+		if !w.retired && w.hasPend {
+			blocked++
+		}
+	}
+	s.stats.StoreStalls += blocked * uint64(cycles)
 }
 
 // Done reports whether every warp job has retired.

@@ -7,11 +7,13 @@ package sim
 
 import (
 	"math"
+	"math/bits"
 
 	"sttllc/internal/cache"
 	"sttllc/internal/config"
 	"sttllc/internal/core"
 	"sttllc/internal/dram"
+	"sttllc/internal/engine"
 	"sttllc/internal/gpu"
 	"sttllc/internal/interconnect"
 	"sttllc/internal/power"
@@ -49,8 +51,9 @@ type Simulator struct {
 	reqBfly  *interconnect.Butterfly // non-nil when cfg.DetailedNoC
 	replyNet *interconnect.Network
 
-	lineMask uint64
-	resident int
+	lineMask  uint64
+	lineShift uint // log2(LineBytes); line sizes are powers of two
+	resident  int
 }
 
 // New builds a simulator for the configuration and workload.
@@ -65,6 +68,7 @@ func New(cfg config.GPUConfig, spec workloads.Spec, opts Options) *Simulator {
 		replyNet: interconnect.New(cfg.NumBanks, cfg.NumSMs, cfg.NoCStageCycles),
 		lineMask: uint64(cfg.LineBytes - 1),
 	}
+	s.lineShift = uint(bits.TrailingZeros(uint(cfg.LineBytes)))
 	if cfg.DetailedNoC {
 		s.reqBfly = interconnect.NewButterfly(cfg.NumSMs, cfg.NumBanks, cfg.NoCStageCycles)
 	}
@@ -112,9 +116,17 @@ func (s *Simulator) Access(now int64, smID int, addr uint64, write bool) int64 {
 			Cycle: now, Addr: addr, SM: uint8(smID), Write: write,
 		})
 	}
-	line := addr / uint64(s.cfg.LineBytes)
-	bank := int(line % uint64(s.cfg.NumBanks))
-	local := line / uint64(s.cfg.NumBanks) * uint64(s.cfg.LineBytes)
+	line := addr >> s.lineShift
+	var q uint64
+	if s.cfg.NumBanks == 6 {
+		// The Table 2 bank count, special-cased so the compiler can
+		// strength-reduce the division (exact for integers).
+		q = line / 6
+	} else {
+		q = line / uint64(s.cfg.NumBanks)
+	}
+	bank := int(line - q*uint64(s.cfg.NumBanks))
+	local := q << s.lineShift
 	var arrive int64
 	if s.reqBfly != nil {
 		arrive = s.reqBfly.Deliver(now, smID, bank)
@@ -167,11 +179,7 @@ type Result struct {
 
 // Run executes the kernel to completion and returns the result.
 func (s *Simulator) Run() Result {
-	start := int64(0)
-	if s.opts.WarmupInstructions > 0 {
-		start = s.warmup()
-	}
-	end := s.runLoop(start)
+	start, end := s.drive(0, s.opts.WarmupInstructions)
 	r := s.finalize(end)
 	if start > 0 {
 		// Report rates over the measured window only.
@@ -187,97 +195,225 @@ func (s *Simulator) Run() Result {
 	return r
 }
 
-// warmup advances the simulation until the warmup instruction budget is
-// spent, then resets all statistics and returns the boundary cycle.
-func (s *Simulator) warmup() int64 {
-	now := int64(0)
-	for {
-		var instr uint64
-		done := true
-		for _, sm := range s.sms {
-			instr += sm.Stats().Instructions
-			if !sm.Done() {
-				done = false
-			}
-		}
-		if instr >= s.opts.WarmupInstructions || done {
-			break
-		}
-		issued := false
-		for _, sm := range s.sms {
-			if !sm.Done() && sm.Step(now) {
-				issued = true
-			}
-		}
-		if issued {
-			now++
-			continue
-		}
-		next := int64(math.MaxInt64)
-		for _, sm := range s.sms {
-			if sm.Done() {
-				continue
-			}
-			if w := sm.NextWake(now); w < next {
-				next = w
-			}
-		}
-		if next == int64(math.MaxInt64) {
-			break
-		}
-		now = next
+// peekOr returns the engine's earliest event time, or MaxInt64 when it
+// is empty — the drive loop's cheap "is a bank tick due" guard.
+func peekOr(e *engine.Engine) int64 {
+	if at, ok := e.Peek(); ok {
+		return at
 	}
-	for _, sm := range s.sms {
-		sm.ResetStats()
-	}
-	for _, b := range s.banks {
-		b.ResetStats()
-	}
-	return now
+	return math.MaxInt64
 }
 
-// runLoop advances the simulation from the given cycle until every SM
-// retires (or MaxCycles is hit) and returns the final cycle.
-func (s *Simulator) runLoop(start int64) int64 {
+// smActor couples an SM to its wake registration plus the bookkeeping
+// that lets the engine skip the SM entirely while it sleeps: lastSeq
+// remembers the last visited-cycle index at which the SM stepped, so
+// the store-stall statistic a per-cycle loop would have accumulated
+// during the skipped cycles can be settled in one call when it wakes.
+//
+// Next-cycle wakes — the overwhelmingly common case while an SM is
+// issuing — bypass the event queue: dueAt stamps the cycle at which the
+// actor wants stepping, and the drive loop checks the stamp with one
+// compare per actor per visited cycle. Only genuine sleeps (wake more
+// than one cycle out) become engine events.
+type smActor struct {
+	sm      *gpu.SM
+	waker   *engine.Waker
+	dueAt   int64
+	lastSeq int64
+	// selfAccounted marks that the SM ran ahead on its own (RunAhead)
+	// through every visited cycle up to dueAt: its statistics for that
+	// span are already exact, so the gap settlement must be skipped once.
+	selfAccounted bool
+}
+
+// drive advances the simulation from start on the event engine until
+// every SM retires (or MaxCycles is reached, measured past the warmup
+// boundary) and returns the warmup boundary cycle and the final cycle.
+//
+// One engine carries the SM wake events: each SM schedules itself at
+// its NextWake time (priority = SM ID, preserving the per-cycle step
+// order), so idle SMs cost nothing and the next interesting cycle is
+// the engine's earliest event rather than a scan over all SMs. A second
+// engine carries the periodic bank retention ticks; keeping those on
+// their own timeline means bank bookkeeping never perturbs the
+// SM-visible cycle sequence (jump targets, MaxCycles end values).
+//
+// A positive warmupBudget makes the warmup boundary an event on the
+// same timeline — once the budget is spent, statistics reset in place
+// and the run continues — rather than a separate stepping loop.
+func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64) {
+	eng := engine.New(start)
+	timers := engine.New(start)
+	for _, b := range s.banks {
+		if p := b.TickPeriod(); p > 0 {
+			b := b
+			var tick engine.Func
+			tick = func(at int64) {
+				b.Tick(at)
+				timers.Schedule(at+p, tick)
+			}
+			timers.Schedule(start+p, tick)
+		}
+	}
+	nextTick := peekOr(timers)
+
+	actors := make([]*smActor, len(s.sms))
+	live := 0
+	for i, sm := range s.sms {
+		a := &smActor{sm: sm, lastSeq: -1, dueAt: start - 1}
+		a.waker = eng.NewWaker(int32(i), func(at int64) { a.dueAt = at })
+		actors[i] = a
+		if !sm.Done() {
+			a.dueAt = start
+			live++
+		}
+	}
+
 	now := start
+	boundary = start
+	warming := warmupBudget > 0
+	var seq int64 // index of the visited cycle being run
+	var issuedTotal uint64
+	// runLimit bounds SM run-ahead: never past MaxCycles (the reference
+	// stops stepping there).
+	runLimit := int64(math.MaxInt64)
+	if s.opts.MaxCycles > 0 {
+		runLimit = s.opts.MaxCycles
+	}
+	// visitedThrough is the highest cycle through which a running-ahead
+	// SM has issued: the reference loop visits every cycle up to it, so
+	// cycles the event loop skips below this mark still count toward the
+	// visited-cycle index (seq) that store-stall settlement relies on.
+	visitedThrough := start
 	for {
-		if s.opts.MaxCycles > 0 && now >= s.opts.MaxCycles {
+		if warming && (issuedTotal >= warmupBudget || live == 0) {
+			// The warmup boundary: reset statistics in place. Unsettled
+			// stall debt predates the boundary and dies with the stats.
+			for _, sm := range s.sms {
+				sm.ResetStats()
+			}
+			for _, b := range s.banks {
+				b.ResetStats()
+			}
+			for _, a := range actors {
+				a.lastSeq = seq - 1
+			}
+			boundary = now
+			warming = false
+		}
+		if !warming && s.opts.MaxCycles > 0 && now >= s.opts.MaxCycles {
 			break
 		}
+		if live == 0 {
+			break
+		}
+		if now >= nextTick {
+			timers.RunUntil(now)
+			nextTick = peekOr(timers)
+		}
+		eng.RunUntil(now) // due wakes stamp their actor's dueAt
 		issued := false
-		done := true
-		for _, sm := range s.sms {
-			if sm.Done() {
+		nextFast := false
+		for _, a := range actors {
+			if a.dueAt != now {
 				continue
 			}
-			done = false
-			if sm.Step(now) {
+			if a.selfAccounted {
+				// The SM ran ahead through every visited cycle before
+				// now on its own; its stall accounting is settled.
+				a.selfAccounted = false
+				a.lastSeq = seq
+			} else {
+				if gap := seq - a.lastSeq - 1; gap > 0 {
+					a.sm.AccrueStoreStalls(gap)
+				}
+				a.lastSeq = seq
+			}
+			if a.sm.Step(now) {
+				// Issued: the loop will visit now+1 and the per-cycle
+				// reference steps every live SM there, so re-arm for
+				// now+1 directly — the NextWake scan is only needed (and
+				// only run by the reference) when an issue attempt
+				// fails. An SM cannot retire on a successful issue.
+				issuedTotal++
+				if !warming && runLimit > now+1 {
+					// Let the SM commit pure-ALU cycles by itself; it
+					// rejoins the shared timeline at the first cycle
+					// that needs ordering against other actors.
+					if stop := a.sm.RunAhead(now+1, runLimit); stop > now+1 {
+						a.selfAccounted = true
+						a.waker.WakeAt(stop)
+						if stop > visitedThrough {
+							visitedThrough = stop
+						}
+						continue
+					}
+				}
 				issued = true
+				a.dueAt = now + 1
+				continue
+			}
+			if a.sm.Done() {
+				live--
+				continue
+			}
+			if w := a.sm.NextWake(now); w == now+1 {
+				a.dueAt = now + 1
+				nextFast = true
+			} else {
+				a.waker.WakeAt(w)
 			}
 		}
-		if done {
-			break
-		}
-		if issued {
+		seq++
+		if issued || nextFast {
+			// An issuing cycle is always followed by an issue attempt at
+			// the very next cycle; a next-cycle wake visits it too.
 			now++
 			continue
 		}
-		// Nothing could issue: skip to the next event.
-		next := int64(math.MaxInt64)
-		for _, sm := range s.sms {
-			if sm.Done() {
-				continue
-			}
-			if w := sm.NextWake(now); w < next {
-				next = w
-			}
-		}
-		if next == int64(math.MaxInt64) {
+		next, ok := eng.Peek()
+		if !ok {
 			break
+		}
+		if visitedThrough > now {
+			// Cycles skipped under the run-ahead mark were visited by
+			// the reference (the running-ahead SM issued at each one);
+			// count them so gap settlements stay exact.
+			skipped := visitedThrough
+			if next-1 < skipped {
+				skipped = next - 1
+			}
+			if skipped > now {
+				seq += skipped - now
+			}
 		}
 		now = next
 	}
-	return now
+	if warming {
+		// The workload retired inside the warmup budget: the boundary is
+		// the end of the run and the measured window is empty.
+		for _, sm := range s.sms {
+			sm.ResetStats()
+		}
+		for _, b := range s.banks {
+			b.ResetStats()
+		}
+		for _, a := range actors {
+			a.lastSeq = seq - 1
+		}
+		boundary = now
+	}
+	for _, a := range actors {
+		if a.selfAccounted {
+			// Settled by RunAhead through its due cycle, which is at or
+			// past the end of the run.
+			continue
+		}
+		if gap := seq - a.lastSeq - 1; gap > 0 {
+			a.sm.AccrueStoreStalls(gap)
+		}
+	}
+	return boundary, now
 }
 
 func (s *Simulator) finalize(now int64) Result {
@@ -438,7 +574,7 @@ func RunApp(cfg config.GPUConfig, app workloads.App, opts Options) AppResult {
 			s.buildSMs(spec)
 		}
 		accBefore, hitBefore := s.bankTotals()
-		end := s.runLoop(now)
+		_, end := s.drive(now, 0)
 		var instr uint64
 		for _, sm := range s.sms {
 			instr += sm.Stats().Instructions
