@@ -9,6 +9,8 @@
 //	sttbench                              # measure, write BENCH_engine.json
 //	sttbench -before old.json -o out.json # diff against a prior run
 //	sttbench -iters 10 -count 3           # best-of-3 at 10 iterations each
+//	sttbench -cpuprofile cpu.pprof        # profile the timed runs
+//	sttbench -check BENCH.json -maxregress 1.2  # CI gate, no file written
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sttllc/internal/config"
@@ -67,20 +71,36 @@ func suite() []struct {
 	}
 }
 
+// sample is one timed run's averages.
+type sample struct {
+	nsOp     int64
+	bytesOp  int64
+	allocsOp int64
+}
+
 // measure times iters iterations of fn, count times, and returns the
-// best (lowest) ns/op — best-of-N rejects scheduler noise the way a
-// human reads repeated `go test -bench` output.
-func measure(fn func(), iters, count int) int64 {
+// best (lowest ns/op) run — best-of-N rejects scheduler noise the way a
+// human reads repeated `go test -bench` output. B/op and allocs/op come
+// from runtime.MemStats deltas over the winning run, the same counters
+// testing.B reports.
+func measure(fn func(), iters, count int) sample {
 	fn() // warm caches and the allocator outside the timed region
-	best := int64(0)
+	var best sample
+	var ms0, ms1 runtime.MemStats
 	for c := 0; c < count; c++ {
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			fn()
 		}
 		ns := time.Since(start).Nanoseconds() / int64(iters)
-		if best == 0 || ns < best {
-			best = ns
+		runtime.ReadMemStats(&ms1)
+		if best.nsOp == 0 || ns < best.nsOp {
+			best = sample{
+				nsOp:     ns,
+				bytesOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters),
+				allocsOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(iters),
+			}
 		}
 	}
 	return best
@@ -92,9 +112,11 @@ type Entry struct {
 	BeforeNsOp int64   `json:"before_ns_op,omitempty"`
 	AfterNsOp  int64   `json:"after_ns_op"`
 	Speedup    float64 `json:"speedup,omitempty"`
+	BytesOp    int64   `json:"bytes_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_op,omitempty"`
 }
 
-// Report is the BENCH_engine.json schema.
+// Report is the BENCH JSON schema.
 type Report struct {
 	Note       string  `json:"note,omitempty"`
 	Iterations int     `json:"iterations"`
@@ -129,37 +151,61 @@ func loadBefore(path string) (map[string]int64, error) {
 	return flat, nil
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sttbench:", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_engine.json", "output path")
-		before = flag.String("before", "", "baseline JSON to diff against (prior sttbench output or {name: ns_op})")
-		iters  = flag.Int("iters", 10, "iterations per timed run")
-		count  = flag.Int("count", 3, "timed runs per benchmark (best is kept)")
-		note   = flag.String("note", "", "free-form provenance note stored in the report")
+		out        = flag.String("o", "BENCH_dataopt.json", "output path")
+		before     = flag.String("before", "", "baseline JSON to diff against (prior sttbench output or {name: ns_op})")
+		iters      = flag.Int("iters", 10, "iterations per timed run")
+		count      = flag.Int("count", 3, "timed runs per benchmark (best is kept)")
+		note       = flag.String("note", "", "free-form provenance note stored in the report")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
+		check      = flag.String("check", "", "regression gate: compare against this baseline and exit non-zero on regression; writes no output file")
+		maxregress = flag.Float64("maxregress", 1.20, "with -check, the max allowed suite slowdown (after/before ratio)")
 	)
 	flag.Parse()
 
+	baseline := *before
+	if *check != "" {
+		baseline = *check
+	}
 	var base map[string]int64
-	if *before != "" {
+	if baseline != "" {
 		var err error
-		if base, err = loadBefore(*before); err != nil {
-			fmt.Fprintln(os.Stderr, "sttbench:", err)
-			os.Exit(1)
+		if base, err = loadBefore(baseline); err != nil {
+			fatal(err)
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rep := Report{Note: *note, Iterations: *iters, Count: *count}
 	for _, b := range suite() {
-		ns := measure(b.Fn, *iters, *count)
-		e := Entry{Name: b.Name, AfterNsOp: ns}
+		s := measure(b.Fn, *iters, *count)
+		e := Entry{Name: b.Name, AfterNsOp: s.nsOp, BytesOp: s.bytesOp, AllocsOp: s.allocsOp}
 		if bn, ok := base[b.Name]; ok && bn > 0 {
 			e.BeforeNsOp = bn
-			e.Speedup = float64(bn) / float64(ns)
+			e.Speedup = float64(bn) / float64(s.nsOp)
 			rep.SuiteBeforeNs += bn
 		}
-		rep.SuiteAfterNs += ns
+		rep.SuiteAfterNs += s.nsOp
 		rep.Benchmarks = append(rep.Benchmarks, e)
-		fmt.Fprintf(os.Stderr, "%-22s %12d ns/op", b.Name, ns)
+		fmt.Fprintf(os.Stderr, "%-22s %12d ns/op %12d B/op %9d allocs/op", b.Name, s.nsOp, s.bytesOp, s.allocsOp)
 		if e.Speedup > 0 {
 			fmt.Fprintf(os.Stderr, "   %.2fx vs baseline", e.Speedup)
 		}
@@ -171,15 +217,46 @@ func main() {
 			rep.SuiteSpeedup, rep.SuiteBeforeNs, rep.SuiteAfterNs)
 	}
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialize the final allocation statistics
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if *check != "" {
+		// CI gate: the suite may not slow down past the allowed ratio
+		// relative to the committed baseline. Only benchmarks present in
+		// the baseline participate (new benchmarks have no reference).
+		if rep.SuiteBeforeNs == 0 {
+			fatal(fmt.Errorf("-check baseline %s shares no benchmarks with this suite", *check))
+		}
+		var matchedNs int64
+		for _, e := range rep.Benchmarks {
+			if e.BeforeNsOp > 0 {
+				matchedNs += e.AfterNsOp
+			}
+		}
+		ratio := float64(matchedNs) / float64(rep.SuiteBeforeNs)
+		if ratio > *maxregress {
+			fatal(fmt.Errorf("suite regressed %.2fx vs %s (limit %.2fx)", ratio, *check, *maxregress))
+		}
+		fmt.Fprintf(os.Stderr, "check ok: %.2fx of baseline (limit %.2fx)\n", ratio, *maxregress)
+		return
+	}
+
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sttbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	raw = append(raw, '\n')
 	if err := os.WriteFile(*out, raw, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "sttbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println("wrote", *out)
 }

@@ -7,6 +7,15 @@
 // retention tracking). Policies — search order, migration, refresh,
 // write-through vs. write-back — belong to the owners in internal/core
 // and internal/gpu.
+//
+// The array is laid out data-oriented: a contiguous tag slab and per-set
+// valid/dirty bitmasks (all carved from one allocation) form the hot
+// path — Probe is a compare loop over packed tag words gated by the
+// valid mask — while the cold per-line metadata (LRU/fill stamps, write
+// counters, retention stamps, wear) lives in one parallel slab touched
+// only on hits and fills. The whole array costs three allocations,
+// because the evaluation harness builds thousands of short-lived caches
+// and construction churn was a measured GC burden.
 package cache
 
 import (
@@ -16,7 +25,8 @@ import (
 	"sttllc/internal/stats"
 )
 
-// Line is one cache line's bookkeeping state.
+// Line is a snapshot of one cache line's bookkeeping state, assembled
+// from the backing slabs for inspection (LineAt, Range, Evicted).
 type Line struct {
 	Tag   uint64
 	Valid bool
@@ -109,6 +119,24 @@ func (p Policy) String() string {
 	}
 }
 
+// coldLine is the per-line cold metadata. It is off the probe path:
+// Probe touches only the tag slab and valid masks.
+type coldLine struct {
+	fill      uint64
+	lastWrite int64
+	retStamp  int64
+	wear      uint32
+	wrCount   uint8
+}
+
+// groupSetsLog2 sizes the lazy cold-metadata groups: cold slabs are
+// allocated one group of 2^6 sets at a time, on first fill into the
+// group. The evaluation harness builds thousands of caches whose
+// workloads touch only a fraction of the sets; lazy groups keep the
+// untouched majority unallocated while still costing just one
+// allocation per touched group.
+const groupSetsLog2 = 6
+
 // Cache is a set-associative array. Construct with New. A Cache with one
 // set is fully associative; a Cache with one way is direct-mapped.
 type Cache struct {
@@ -123,12 +151,35 @@ type Cache struct {
 	setShift uint // log2(LineBytes)
 	tagShift uint // log2(sets)
 	setMask  uint64
-	// rows holds each set's ways, allocated on first touch. A nil row is
-	// exactly an all-invalid set, so short runs that visit a fraction of
-	// a multi-megabyte array never pay to allocate (or drain) the rest.
-	rows  [][]Line
-	stamp uint64
-	rng   uint64 // Random-policy PRNG state
+
+	// Hot slabs, all subslices of one backing allocation: tags is the
+	// packed per-set tag words (sets*Ways, contiguous), valid/dirty are
+	// per-set way bitmasks of maskWords words each. lastMask covers the
+	// valid way bits of the final (possibly partial) mask word.
+	tags      []uint64
+	valid     []uint64
+	dirty     []uint64
+	lru       []uint64 // per-line use stamps; hot because read hits bump them
+	maskWords int
+	lastMask  uint64
+
+	// cold[set>>groupShift] is the group slab holding the metadata of
+	// (set&groupMask, way) at index (set&groupMask)*Ways+way; nil until
+	// the group sees its first fill. Valid lines always have a group.
+	cold       [][]coldLine
+	groupShift uint
+	groupMask  int
+
+	stamp      uint64
+	rng        uint64 // Random-policy PRNG state
+	validCount int
+	// noMeta disables the cold per-line metadata (write counters,
+	// retention stamps, wear): the SM-side caches never have theirs
+	// read, so they skip both the group allocations and the per-write
+	// stores. Snapshots of such lines carry zero metadata.
+	noMeta bool
+
+	wheel *expiryWheel
 
 	Stats Stats
 	// WriteVar, when non-nil, records every write hit and write fill
@@ -154,7 +205,17 @@ func New(capacityBytes, ways, lineBytes int) *Cache {
 	if bits.OnesCount(uint(sets)) != 1 {
 		panic(fmt.Sprintf("cache: set count %d must be a power of two", sets))
 	}
-	return &Cache{
+	mw := (ways + 63) / 64
+	last := ^uint64(0)
+	if r := ways % 64; r != 0 {
+		last = 1<<uint(r) - 1
+	}
+	gs := uint(groupSetsLog2)
+	if ts := uint(bits.TrailingZeros(uint(sets))); ts < gs {
+		gs = ts
+	}
+	hot := make([]uint64, 2*sets*ways+2*sets*mw)
+	c := &Cache{
 		CapacityBytes: capacityBytes,
 		Ways:          ways,
 		LineBytes:     lineBytes,
@@ -162,10 +223,28 @@ func New(capacityBytes, ways, lineBytes int) *Cache {
 		setShift:      uint(bits.TrailingZeros(uint(lineBytes))),
 		tagShift:      uint(bits.TrailingZeros(uint(sets))),
 		setMask:       uint64(sets - 1),
-		rows:          make([][]Line, sets),
+		tags:          hot[:sets*ways:sets*ways],
+		valid:         hot[sets*ways : sets*ways+sets*mw : sets*ways+sets*mw],
+		dirty:         hot[sets*ways+sets*mw : sets*ways+2*sets*mw : sets*ways+2*sets*mw],
+		lru:           hot[sets*ways+2*sets*mw:],
+		maskWords:     mw,
+		lastMask:      last,
+		cold:          make([][]coldLine, sets>>gs),
+		groupShift:    gs,
+		groupMask:     1<<gs - 1,
 		rng:           0x9E3779B97F4A7C15,
 	}
+	return c
 }
+
+// DisableMetadata turns off cold per-line metadata tracking (WriteCount,
+// LastWriteCycle, RetentionStamp, Wear — all read back as zero). For
+// caches whose owner never reads those fields — the per-SM L1, constant,
+// and texture caches — this skips the metadata stores on every write and
+// the group slab allocations entirely. Must be called before the first
+// access; incompatible with FIFO/WearAware replacement and retention
+// expiry, which read the suppressed fields.
+func (c *Cache) DisableMetadata() { c.noMeta = true }
 
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.sets }
@@ -181,36 +260,57 @@ func (c *Cache) BlockAddr(addr uint64) uint64 {
 	return addr &^ (uint64(c.LineBytes) - 1)
 }
 
-// row returns the set's ways, allocating them on first touch.
-func (c *Cache) row(set int) []Line {
-	r := c.rows[set]
-	if r == nil {
-		r = make([]Line, c.Ways)
-		c.rows[set] = r
+// wordMask returns the valid-way mask of mask word wi.
+func (c *Cache) wordMask(wi int) uint64 {
+	if wi == c.maskWords-1 {
+		return c.lastMask
 	}
-	return r
+	return ^uint64(0)
 }
 
-// line returns the line at (set, way).
-func (c *Cache) line(set, way int) *Line {
-	return &c.row(set)[way]
+// bitAt reports whether way's bit is set in the per-set bitmask slab.
+func bitAt(slab []uint64, base, way int) bool {
+	return slab[base+way>>6]&(1<<uint(way&63)) != 0
 }
 
-// LineAt returns the line at (set, way) for inspection or targeted
-// mutation by policy owners (e.g. reading the pre-update LastWriteCycle
-// before applying a write, or clearing Dirty after a refresh).
-func (c *Cache) LineAt(set, way int) *Line {
-	return c.line(set, way)
+// coldAt returns the metadata slot of (set, way). The group must exist,
+// which holds for every valid line (Fill allocates it).
+func (c *Cache) coldAt(set, way int) *coldLine {
+	return &c.cold[set>>c.groupShift][(set&c.groupMask)*c.Ways+way]
+}
+
+// coldEnsure returns the metadata slot of (set, way), allocating the
+// set's group slab on first touch.
+func (c *Cache) coldEnsure(set, way int) *coldLine {
+	g := c.cold[set>>c.groupShift]
+	if g == nil {
+		g = make([]coldLine, (c.groupMask+1)*c.Ways)
+		c.cold[set>>c.groupShift] = g
+	}
+	return &g[(set&c.groupMask)*c.Ways+way]
 }
 
 // Probe looks the address up without changing any state (no LRU update,
 // no stats). It returns the way and whether it hit.
 func (c *Cache) Probe(addr uint64) (set, way int, hit bool) {
 	set, tag := c.Index(addr)
-	lines := c.rows[set] // nil row: all invalid, loop body never runs
-	for w := range lines {
-		if lines[w].Valid && lines[w].Tag == tag {
-			return set, w, true
+	tbase := set * c.Ways
+	if c.maskWords == 1 { // every cache up to 64 ways: one mask word
+		for m := c.valid[set]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			if c.tags[tbase+w] == tag {
+				return set, w, true
+			}
+		}
+		return set, -1, false
+	}
+	vbase := set * c.maskWords
+	for wi := 0; wi < c.maskWords; wi++ {
+		for m := c.valid[vbase+wi]; m != 0; m &= m - 1 {
+			w := wi<<6 + bits.TrailingZeros64(m)
+			if c.tags[tbase+w] == tag {
+				return set, w, true
+			}
 		}
 	}
 	return set, -1, false
@@ -221,7 +321,7 @@ func (c *Cache) Probe(addr uint64) (set, way int, hit bool) {
 // counter, and LastWriteCycle. It records stats and (for writes) write
 // variation. It does NOT allocate on miss; callers decide fill policy via
 // Fill.
-func (c *Cache) Access(addr uint64, write bool, cycle int64) (hit bool, line *Line) {
+func (c *Cache) Access(addr uint64, write bool, cycle int64) (hit bool) {
 	set, way, ok := c.Probe(addr)
 	if !ok {
 		if write {
@@ -229,39 +329,48 @@ func (c *Cache) Access(addr uint64, write bool, cycle int64) (hit bool, line *Li
 		} else {
 			c.Stats.ReadMisses++
 		}
-		return false, nil
+		return false
 	}
-	l := c.line(set, way)
+	c.AccessAt(set, way, write, cycle)
+	return true
+}
+
+// AccessAt applies the hit-side bookkeeping of Access to a line the
+// caller already located with Probe, skipping the redundant second tag
+// walk. The way must be valid.
+func (c *Cache) AccessAt(set, way int, write bool, cycle int64) {
 	c.stamp++
-	l.lru = c.stamp
+	c.lru[set*c.Ways+way] = c.stamp
 	if write {
 		c.Stats.WriteHits++
-		l.Dirty = true
-		if l.WriteCount < 255 {
-			l.WriteCount++
+		c.dirty[set*c.maskWords+way>>6] |= 1 << uint(way&63)
+		if !c.noMeta {
+			l := c.coldAt(set, way)
+			if l.wrCount < 255 {
+				l.wrCount++
+			}
+			l.lastWrite = cycle
+			l.retStamp = cycle
+			l.wear++
 		}
-		l.LastWriteCycle = cycle
-		l.RetentionStamp = cycle
-		l.Wear++
+		if c.wheel != nil {
+			c.wheel.mark(set, cycle)
+		}
 		if c.WriteVar != nil {
 			c.WriteVar.Record(set, way)
 		}
 	} else {
 		c.Stats.ReadHits++
 	}
-	return true, l
 }
 
 // Victim returns the way to evict in the set: an invalid way if any,
 // otherwise the line chosen by the replacement policy.
 func (c *Cache) Victim(set int) int {
-	lines := c.rows[set]
-	if lines == nil {
-		return 0 // untouched set: every way invalid
-	}
-	for w := range lines {
-		if !lines[w].Valid {
-			return w
+	vbase := set * c.maskWords
+	for wi := 0; wi < c.maskWords; wi++ {
+		if inv := ^c.valid[vbase+wi] & c.wordMask(wi); inv != 0 {
+			return wi<<6 + bits.TrailingZeros64(inv)
 		}
 	}
 	if c.Policy == Random {
@@ -274,24 +383,30 @@ func (c *Cache) Victim(set int) int {
 	victim := 0
 	var min uint64 = ^uint64(0)
 	switch c.Policy {
-	case FIFO:
-		for w := range lines {
-			if lines[w].fill < min {
-				min = lines[w].fill
-				victim = w
+	case FIFO, WearAware:
+		// Every way is valid here, so the set's group exists.
+		g := c.cold[set>>c.groupShift]
+		base := (set & c.groupMask) * c.Ways
+		if c.Policy == FIFO {
+			for w := 0; w < c.Ways; w++ {
+				if g[base+w].fill < min {
+					min = g[base+w].fill
+					victim = w
+				}
 			}
-		}
-	case WearAware:
-		for w := range lines {
-			if uint64(lines[w].Wear) < min {
-				min = uint64(lines[w].Wear)
-				victim = w
+		} else {
+			for w := 0; w < c.Ways; w++ {
+				if uint64(g[base+w].wear) < min {
+					min = uint64(g[base+w].wear)
+					victim = w
+				}
 			}
 		}
 	default: // LRU
-		for w := range lines {
-			if lines[w].lru < min {
-				min = lines[w].lru
+		base := set * c.Ways
+		for w := 0; w < c.Ways; w++ {
+			if c.lru[base+w] < min {
+				min = c.lru[base+w]
 				victim = w
 			}
 		}
@@ -306,6 +421,86 @@ type Evicted struct {
 	Line  Line
 }
 
+// snapshot assembles the Line view of (set, way) from the slabs. The
+// way must be valid. A line without cold metadata (DisableMetadata)
+// snapshots with zero metadata fields.
+func (c *Cache) snapshot(set, way int) Line {
+	ln := Line{
+		Tag:   c.tags[set*c.Ways+way],
+		Valid: true,
+		Dirty: bitAt(c.dirty, set*c.maskWords, way),
+		lru:   c.lru[set*c.Ways+way],
+	}
+	if g := c.cold[set>>c.groupShift]; g != nil {
+		l := &g[(set&c.groupMask)*c.Ways+way]
+		ln.WriteCount = l.wrCount
+		ln.LastWriteCycle = l.lastWrite
+		ln.RetentionStamp = l.retStamp
+		ln.fill = l.fill
+		ln.Wear = l.wear
+	}
+	return ln
+}
+
+// LineAt returns a snapshot of the line at (set, way). An invalid way
+// yields a zero Line carrying only the slot's wear.
+func (c *Cache) LineAt(set, way int) Line {
+	if !bitAt(c.valid, set*c.maskWords, way) {
+		if g := c.cold[set>>c.groupShift]; g != nil {
+			return Line{Wear: g[(set&c.groupMask)*c.Ways+way].wear}
+		}
+		return Line{}
+	}
+	return c.snapshot(set, way)
+}
+
+// WriteCountAt returns the saturating write counter of (set, way).
+func (c *Cache) WriteCountAt(set, way int) uint8 {
+	if g := c.cold[set>>c.groupShift]; g != nil {
+		return g[(set&c.groupMask)*c.Ways+way].wrCount
+	}
+	return 0
+}
+
+// LastWriteCycleAt returns the last program-write cycle of (set, way).
+func (c *Cache) LastWriteCycleAt(set, way int) int64 {
+	if g := c.cold[set>>c.groupShift]; g != nil {
+		return g[(set&c.groupMask)*c.Ways+way].lastWrite
+	}
+	return 0
+}
+
+// RetentionStampAt returns the last physical-write cycle of (set, way).
+func (c *Cache) RetentionStampAt(set, way int) int64 {
+	if g := c.cold[set>>c.groupShift]; g != nil {
+		return g[(set&c.groupMask)*c.Ways+way].retStamp
+	}
+	return 0
+}
+
+// SetRetentionStamp restarts the retention clock of (set, way) — the
+// refresh path: the cell array was physically rewritten at cycle.
+func (c *Cache) SetRetentionStamp(set, way int, cycle int64) {
+	c.coldAt(set, way).retStamp = cycle
+	if c.wheel != nil {
+		c.wheel.mark(set, cycle)
+	}
+}
+
+// DirtyAt reports whether the line at (set, way) is dirty.
+func (c *Cache) DirtyAt(set, way int) bool {
+	return bitAt(c.dirty, set*c.maskWords, way)
+}
+
+// MaskWords returns the number of bitmask words per set.
+func (c *Cache) MaskWords() int { return c.maskWords }
+
+// ValidWord returns mask word wi of the set's valid bitmask; bit b is
+// way wi*64+b.
+func (c *Cache) ValidWord(set, wi int) uint64 {
+	return c.valid[set*c.maskWords+wi]
+}
+
 // Fill allocates the address into its set (evicting the LRU victim if the
 // set is full) and returns the evicted line, if any was valid. The new
 // line is installed MRU; dirty marks it modified (e.g. a write-allocate
@@ -315,33 +510,50 @@ type Evicted struct {
 func (c *Cache) Fill(addr uint64, dirty bool, cycle int64) (ev Evicted, evicted bool) {
 	set, tag := c.Index(addr)
 	way := c.Victim(set)
-	l := c.line(set, way)
-	if l.Valid {
-		ev = Evicted{Addr: c.AddrOf(set, l.Tag), Dirty: l.Dirty, Line: *l}
+	var l *coldLine
+	if !c.noMeta {
+		l = c.coldEnsure(set, way)
+	}
+	mi := set*c.maskWords + way>>6
+	bit := uint64(1) << uint(way&63)
+	if c.valid[mi]&bit != 0 {
+		ev = Evicted{
+			Addr:  c.AddrOf(set, c.tags[set*c.Ways+way]),
+			Dirty: c.dirty[mi]&bit != 0,
+			Line:  c.snapshot(set, way),
+		}
 		evicted = true
 		c.Stats.Evictions++
-		if l.Dirty {
+		if ev.Dirty {
 			c.Stats.DirtyEvict++
 		}
+	} else {
+		c.valid[mi] |= bit
+		c.validCount++
 	}
 	c.stamp++
-	wc := uint8(0)
+	c.tags[set*c.Ways+way] = tag
 	if dirty {
-		wc = 1
+		c.dirty[mi] |= bit
+	} else {
+		c.dirty[mi] &^= bit
 	}
-	slotWear := l.Wear + 1 // the fill writes the physical slot
-	*l = Line{
-		Tag:            tag,
-		Valid:          true,
-		Dirty:          dirty,
-		WriteCount:     wc,
-		LastWriteCycle: cycle,
-		RetentionStamp: cycle,
-		lru:            c.stamp,
-		fill:           c.stamp,
-		Wear:           slotWear,
+	c.lru[set*c.Ways+way] = c.stamp
+	if l != nil {
+		if dirty {
+			l.wrCount = 1
+		} else {
+			l.wrCount = 0
+		}
+		l.lastWrite = cycle
+		l.retStamp = cycle
+		l.fill = c.stamp
+		l.wear++ // the fill writes the physical slot
 	}
 	c.Stats.Fills++
+	if c.wheel != nil {
+		c.wheel.mark(set, cycle)
+	}
 	if dirty && c.WriteVar != nil {
 		c.WriteVar.Record(set, way)
 	}
@@ -350,8 +562,7 @@ func (c *Cache) Fill(addr uint64, dirty bool, cycle int64) (ev Evicted, evicted 
 
 // AddrOf reconstructs the line-aligned address stored at (set, tag).
 func (c *Cache) AddrOf(set int, tag uint64) uint64 {
-	setBits := uint(bits.TrailingZeros(uint(c.sets)))
-	return (tag<<setBits | uint64(set)) << c.setShift
+	return (tag<<c.tagShift | uint64(set)) << c.setShift
 }
 
 // Invalidate removes the address if present and returns its final state.
@@ -366,59 +577,114 @@ func (c *Cache) Invalidate(addr uint64) (ev Evicted, found bool) {
 // InvalidateWay removes the line at (set, way) and returns its final
 // state. Removing an already-invalid way returns a zero Evicted.
 func (c *Cache) InvalidateWay(set, way int) Evicted {
-	if c.rows[set] == nil {
+	mi := set*c.maskWords + way>>6
+	bit := uint64(1) << uint(way&63)
+	if c.valid[mi]&bit == 0 {
 		return Evicted{}
 	}
-	l := &c.rows[set][way]
-	if !l.Valid {
-		return Evicted{}
+	ev := Evicted{
+		Addr:  c.AddrOf(set, c.tags[set*c.Ways+way]),
+		Dirty: c.dirty[mi]&bit != 0,
+		Line:  c.snapshot(set, way),
 	}
-	ev := Evicted{Addr: c.AddrOf(set, l.Tag), Dirty: l.Dirty, Line: *l}
-	*l = Line{Wear: l.Wear}
+	c.valid[mi] &^= bit
+	c.dirty[mi] &^= bit
+	c.validCount--
+	// Zero the vacated slot's metadata; wear belongs to the physical
+	// slot and survives.
+	if !c.noMeta {
+		l := c.coldAt(set, way)
+		l.wrCount = 0
+		l.lastWrite = 0
+		l.retStamp = 0
+		l.fill = 0
+	}
+	c.lru[set*c.Ways+way] = 0
 	c.Stats.Invalidates++
 	return ev
 }
 
-// Range calls fn for every valid line. fn may mutate the line (e.g. clear
-// Dirty after a refresh) but must not invalidate it; use InvalidateWay
-// outside the iteration or via CollectExpired.
-func (c *Cache) Range(fn func(set, way int, l *Line)) {
-	for s, row := range c.rows {
-		for w := range row {
-			if row[w].Valid {
-				fn(s, w, &row[w])
+// Range calls fn for every valid line, in (set, way) order, with a
+// snapshot of its state. Mutation goes through the targeted setters
+// (SetRetentionStamp, InvalidateWay outside the iteration, FlushDirty).
+func (c *Cache) Range(fn func(set, way int, l Line)) {
+	for set := 0; set < c.sets; set++ {
+		vbase := set * c.maskWords
+		for wi := 0; wi < c.maskWords; wi++ {
+			for m := c.valid[vbase+wi]; m != 0; m &= m - 1 {
+				w := wi<<6 + bits.TrailingZeros64(m)
+				fn(set, w, c.snapshot(set, w))
 			}
 		}
 	}
 }
 
-// CollectExpired returns the (set, way) pairs of valid lines whose cell
-// array has not been physically written (program write, fill, or
-// refresh) for at least maxAge cycles. The paper's retention counters
-// are a coarse hardware encoding of exactly this predicate.
-func (c *Cache) CollectExpired(now int64, maxAge int64) (setWays [][2]int) {
-	c.Range(func(set, way int, l *Line) {
-		if now-l.RetentionStamp >= maxAge {
-			setWays = append(setWays, [2]int{set, way})
+// FlushDirty visits every valid dirty line in (set, way) order, reports
+// its line-aligned address, and clears its dirty bit — the write-back
+// drain at end of simulation.
+func (c *Cache) FlushDirty(fn func(set, way int, addr uint64)) {
+	for set := 0; set < c.sets; set++ {
+		vbase := set * c.maskWords
+		for wi := 0; wi < c.maskWords; wi++ {
+			m := c.valid[vbase+wi] & c.dirty[vbase+wi]
+			if m == 0 {
+				continue
+			}
+			for dm := m; dm != 0; dm &= dm - 1 {
+				w := wi<<6 + bits.TrailingZeros64(dm)
+				fn(set, w, c.AddrOf(set, c.tags[set*c.Ways+w]))
+			}
+			c.dirty[vbase+wi] &^= m
 		}
-	})
-	return setWays
+	}
+}
+
+// AppendExpired appends the (set, way) pairs of valid lines whose cell
+// array has not been physically written (program write, fill, or
+// refresh) for at least maxAge cycles to dst and returns it. The
+// paper's retention counters are a coarse hardware encoding of exactly
+// this predicate. Passing a reused scratch slice keeps the scan
+// allocation-free in steady state.
+func (c *Cache) AppendExpired(dst [][2]int, now int64, maxAge int64) [][2]int {
+	for set := 0; set < c.sets; set++ {
+		vbase := set * c.maskWords
+		base := (set & c.groupMask) * c.Ways
+		var g []coldLine
+		for wi := 0; wi < c.maskWords; wi++ {
+			for m := c.valid[vbase+wi]; m != 0; m &= m - 1 {
+				w := wi<<6 + bits.TrailingZeros64(m)
+				if g == nil {
+					g = c.cold[set>>c.groupShift]
+				}
+				if now-g[base+w].retStamp >= maxAge {
+					dst = append(dst, [2]int{set, w})
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// CollectExpired is AppendExpired into a fresh slice.
+func (c *Cache) CollectExpired(now int64, maxAge int64) (setWays [][2]int) {
+	return c.AppendExpired(nil, now, maxAge)
 }
 
 // ValidLines returns the number of valid lines.
-func (c *Cache) ValidLines() int {
-	n := 0
-	c.Range(func(int, int, *Line) { n++ })
-	return n
-}
+func (c *Cache) ValidLines() int { return c.validCount }
 
 // WearCounts returns every line slot's physical write count, in
 // (set, way) order, for endurance analysis.
 func (c *Cache) WearCounts() []float64 {
 	out := make([]float64, c.sets*c.Ways)
-	for s, row := range c.rows {
-		for w := range row {
-			out[s*c.Ways+w] = float64(row[w].Wear)
+	for set := 0; set < c.sets; set++ {
+		g := c.cold[set>>c.groupShift]
+		if g == nil {
+			continue // untouched group: all-zero wear
+		}
+		base := (set & c.groupMask) * c.Ways
+		for w := 0; w < c.Ways; w++ {
+			out[set*c.Ways+w] = float64(g[base+w].wear)
 		}
 	}
 	return out
@@ -430,14 +696,23 @@ func (c *Cache) EnableWriteVariation() {
 	c.WriteVar = stats.NewWriteVariation(c.sets, c.Ways)
 }
 
-// Reset clears all lines and statistics but keeps the geometry and any
-// write-variation tracker dimensions.
+// Reset clears all lines and statistics but keeps the geometry, the
+// replacement policy, and any write-variation tracker dimensions. Wear
+// and all stamps are zeroed: Reset models a fresh array, not a power
+// cycle of a worn one.
 func (c *Cache) Reset() {
-	c.rows = make([][]Line, c.sets)
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.lru)
+	clear(c.cold) // drop the group slabs: a fresh array has zero wear
 	c.stamp = 0
 	c.rng = 0x9E3779B97F4A7C15
+	c.validCount = 0
 	c.Stats = Stats{}
 	if c.WriteVar != nil {
 		c.WriteVar = stats.NewWriteVariation(c.sets, c.Ways)
+	}
+	if c.wheel != nil {
+		c.wheel.reset()
 	}
 }

@@ -54,15 +54,15 @@ func TestIndexTagRoundTrip(t *testing.T) {
 func TestMissThenFillThenHit(t *testing.T) {
 	c := newSmall()
 	const addr = 0x1040
-	if hit, _ := c.Access(addr, false, 1); hit {
+	if c.Access(addr, false, 1) {
 		t.Fatal("cold cache should miss")
 	}
 	c.Fill(addr, false, 1)
-	hit, line := c.Access(addr, false, 2)
-	if !hit || line == nil {
+	if !c.Access(addr, false, 2) {
 		t.Fatal("fill then access should hit")
 	}
-	if line.Dirty {
+	set, way, _ := c.Probe(addr)
+	if c.LineAt(set, way).Dirty {
 		t.Error("clean fill should not be dirty")
 	}
 	if c.Stats.ReadMisses != 1 || c.Stats.ReadHits != 1 || c.Stats.Fills != 1 {
@@ -74,7 +74,9 @@ func TestWriteSetsDirtyAndCounter(t *testing.T) {
 	c := newSmall()
 	const addr = 0x80
 	c.Fill(addr, false, 1)
-	_, line := c.Access(addr, true, 5)
+	c.Access(addr, true, 5)
+	set, way, _ := c.Probe(addr)
+	line := c.LineAt(set, way)
 	if !line.Dirty {
 		t.Error("write hit must set dirty")
 	}
@@ -85,8 +87,8 @@ func TestWriteSetsDirtyAndCounter(t *testing.T) {
 		t.Errorf("LastWriteCycle = %d, want 5", line.LastWriteCycle)
 	}
 	c.Access(addr, true, 9)
-	if line.WriteCount != 2 {
-		t.Errorf("WriteCount after 2nd write = %d, want 2", line.WriteCount)
+	if got := c.LineAt(set, way).WriteCount; got != 2 {
+		t.Errorf("WriteCount after 2nd write = %d, want 2", got)
 	}
 }
 
@@ -97,10 +99,9 @@ func TestWriteCounterSaturates(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		c.Access(addr, true, int64(i))
 	}
-	_, _, _ = c.Probe(addr)
-	_, line := c.Access(addr, false, 301)
-	if line.WriteCount != 255 {
-		t.Errorf("WriteCount = %d, want saturation at 255", line.WriteCount)
+	set, way, _ := c.Probe(addr)
+	if got := c.WriteCountAt(set, way); got != 255 {
+		t.Errorf("WriteCount = %d, want saturation at 255", got)
 	}
 }
 
@@ -149,9 +150,13 @@ func TestDirtyEvictionReported(t *testing.T) {
 func TestFillDirtyInstallsModified(t *testing.T) {
 	c := newSmall()
 	c.Fill(0x40, true, 7)
-	_, line := c.Access(0x40, false, 8)
+	set, way, hit := c.Probe(0x40)
+	if !hit {
+		t.Fatal("dirty fill should be present")
+	}
+	line := c.LineAt(set, way)
 	if !line.Dirty || line.WriteCount != 1 || line.LastWriteCycle != 7 {
-		t.Errorf("dirty fill state = %+v", *line)
+		t.Errorf("dirty fill state = %+v", line)
 	}
 }
 
@@ -206,7 +211,7 @@ func TestRangeAndValidLines(t *testing.T) {
 		t.Errorf("ValidLines = %d, want %d", got, len(addrs))
 	}
 	seen := map[uint64]bool{}
-	c.Range(func(set, way int, l *Line) {
+	c.Range(func(set, way int, l Line) {
 		seen[c.AddrOf(set, l.Tag)] = true
 	})
 	for _, a := range addrs {
@@ -230,9 +235,12 @@ func TestWriteVariationRecording(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	c := newSmall()
+	c.Policy = FIFO
 	c.EnableWriteVariation()
 	c.Fill(0x00, true, 1)
 	c.Access(0x00, true, 2)
+	c.Fill(0x100, false, 3)
+	c.Invalidate(0x100)
 	c.Reset()
 	if c.ValidLines() != 0 {
 		t.Error("Reset left valid lines")
@@ -242,6 +250,62 @@ func TestReset(t *testing.T) {
 	}
 	if c.WriteVar.TotalWrites() != 0 {
 		t.Error("Reset left write-variation counts")
+	}
+	// Geometry, policy, and tracker dimensions survive.
+	if c.Sets() != 4 || c.Ways != 2 || c.LineBytes != 64 || c.CapacityBytes != 512 {
+		t.Errorf("Reset changed geometry: %d sets %d ways %dB", c.Sets(), c.Ways, c.LineBytes)
+	}
+	if c.Policy != FIFO {
+		t.Errorf("Reset changed policy to %v", c.Policy)
+	}
+	if c.WriteVar == nil {
+		t.Fatal("Reset dropped the write-variation tracker")
+	}
+	// Wear and all stamps are zeroed: Reset models a fresh array.
+	for s := 0; s < c.Sets(); s++ {
+		for w := 0; w < c.Ways; w++ {
+			if l := c.LineAt(s, w); l.Valid || l.Wear != 0 || l.Dirty {
+				t.Fatalf("Reset left state at (%d,%d): %+v", s, w, l)
+			}
+		}
+	}
+	// The array behaves like a fresh one: same miss/fill/hit sequence.
+	if c.Access(0x00, false, 10) {
+		t.Error("post-Reset access should miss")
+	}
+	c.Fill(0x00, false, 10)
+	if !c.Access(0x00, false, 11) {
+		t.Error("post-Reset fill should hit")
+	}
+	if l := c.LineAt(0, 0); l.Wear != 1 || l.RetentionStamp != 10 {
+		t.Errorf("post-Reset line = %+v, want wear 1 stamp 10", l)
+	}
+}
+
+// TestResetRandomSequenceRepeats pins the deterministic PRNG reseed: the
+// eviction sequence after Reset must replay the original.
+func TestResetRandomSequenceRepeats(t *testing.T) {
+	c := newSmall()
+	c.Policy = Random
+	run := func() []uint64 {
+		var evs []uint64
+		for i := 0; i < 32; i++ {
+			if ev, evicted := c.Fill(uint64(i)<<8, false, int64(i)); evicted {
+				evs = append(evs, ev.Addr)
+			}
+		}
+		return evs
+	}
+	a := run()
+	c.Reset()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("eviction counts differ after Reset: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Reset must reseed the replacement PRNG")
+		}
 	}
 }
 
@@ -267,7 +331,7 @@ func TestNoDuplicateTagsProperty(t *testing.T) {
 		for i, op := range ops {
 			addr := uint64(op) & 0xFFF
 			write := op&0x8000 != 0
-			if hit, _ := c.Access(addr, write, int64(i)); !hit {
+			if !c.Access(addr, write, int64(i)) {
 				c.Fill(addr, write, int64(i))
 			}
 		}
@@ -278,7 +342,7 @@ func TestNoDuplicateTagsProperty(t *testing.T) {
 		for s := 0; s < c.Sets(); s++ {
 			seen := map[uint64]bool{}
 			for w := 0; w < c.Ways; w++ {
-				l := c.line(s, w)
+				l := c.LineAt(s, w)
 				if !l.Valid {
 					continue
 				}
@@ -480,11 +544,11 @@ func TestWearAwareReplacementLevelsWear(t *testing.T) {
 		alt := []uint64{0x100, 0x200}
 		c.Fill(hot, false, 0)
 		for i := 0; i < 400; i++ {
-			if hit, _ := c.Access(hot, false, int64(i)); !hit {
+			if !c.Access(hot, false, int64(i)) {
 				c.Fill(hot, false, int64(i))
 			}
 			w := alt[i%2]
-			if hit, _ := c.Access(w, true, int64(i)); !hit {
+			if !c.Access(w, true, int64(i)) {
 				c.Fill(w, true, int64(i))
 			}
 		}

@@ -10,10 +10,12 @@ import (
 // simulator builds on.
 func ExampleCache() {
 	c := cache.New(4<<10, 4, 64) // 4KB, 4-way, 64B lines
-	if hit, _ := c.Access(0x1000, false, 1); !hit {
+	if !c.Access(0x1000, false, 1) {
 		c.Fill(0x1000, false, 1)
 	}
-	hit, line := c.Access(0x1000, true, 2) // store: sets dirty + write counter
+	hit := c.Access(0x1000, true, 2) // store: sets dirty + write counter
+	set, way, _ := c.Probe(0x1000)
+	line := c.LineAt(set, way)
 	fmt.Println("hit:", hit)
 	fmt.Println("dirty:", line.Dirty)
 	fmt.Println("write count:", line.WriteCount)

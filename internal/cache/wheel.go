@@ -1,0 +1,134 @@
+package cache
+
+import "math/bits"
+
+// expiryWheel is the incremental counterpart of a periodic full-array
+// retention scan. Scans fire at multiples of a tick period (the paper's
+// retention-counter resolution: retention / 2^counterBits); a line
+// becomes *due* at the first scan boundary t with t >= stamp + lead,
+// where stamp is its RetentionStamp and lead is the scan's age
+// threshold. Every physical write (fill, store, refresh) marks the
+// line's set in the bucket of that future boundary, so a scan visits
+// only the sets of its own bucket instead of the whole array.
+//
+// Marks are conservative: a line rewritten after marking simply leaves
+// a stale mark behind, which costs one wasted set visit and nothing
+// else — the scan re-checks the authoritative RetentionStamp. Because a
+// mark is always placed at the line's exact due boundary given its
+// current stamp, every valid line is marked at (at least) the boundary
+// where the full scan would have found it due, which is what keeps the
+// wheel's scan sequence bit-identical to the full scan's.
+type expiryWheel struct {
+	tick int64
+	lead int64
+	// buckets is n consecutive bitmaps over sets, each words long, in
+	// one flat slab; a boundary t owns bucket (t/tick) % n. Sized
+	// lead/tick+3 buckets so a mark can never wrap onto a boundary that
+	// has not been scanned yet.
+	buckets []uint64
+	n       int64
+	words   int
+	// Magic reciprocals of tick and n (⌊(2^64−1)/v⌋): mark runs once per
+	// physical write, and the multiply-high estimate (off by at most one,
+	// fixed with a conditional subtract) keeps its two remainders off the
+	// 64-bit divider.
+	tickMagic uint64
+	nMagic    uint64
+}
+
+// qmod returns x/v and x%v exactly using the precomputed magic
+// reciprocal.
+func qmod(x, v, magic uint64) (q, r uint64) {
+	q, _ = bits.Mul64(x, magic)
+	r = x - q*v
+	if r >= v {
+		q++
+		r -= v
+	}
+	return q, r
+}
+
+func newExpiryWheel(sets int, tick, lead int64) *expiryWheel {
+	if tick <= 0 {
+		panic("cache: expiry wheel tick must be positive")
+	}
+	if lead < 1 {
+		// A line written at cycle t is first visible to the scan at the
+		// next boundary (writes within a cycle happen after that
+		// cycle's Tick), so the earliest meaningful lead is one cycle.
+		// This keeps marks strictly in the future of the mark time.
+		lead = 1
+	}
+	n := lead/tick + 3
+	words := (sets + 63) / 64
+	return &expiryWheel{
+		tick:      tick,
+		lead:      lead,
+		buckets:   make([]uint64, int(n)*words),
+		n:         n,
+		words:     words,
+		tickMagic: ^uint64(0) / uint64(tick),
+		nMagic:    ^uint64(0) / uint64(n),
+	}
+}
+
+// mark records that the line's set holds a line stamped at cycle stamp,
+// due at the first scan boundary >= stamp+lead.
+func (w *expiryWheel) mark(set int, stamp int64) {
+	idx, _ := qmod(uint64(stamp+w.lead+w.tick-1), uint64(w.tick), w.tickMagic)
+	_, bi := qmod(idx, uint64(w.n), w.nMagic)
+	b := int(bi) * w.words
+	w.buckets[b+set>>6] |= 1 << uint(set&63)
+}
+
+func (w *expiryWheel) reset() {
+	clear(w.buckets)
+}
+
+// EnableExpiryWheel attaches an incremental expiry tracker: scans fire
+// at multiples of tick cycles and consider a line due once
+// now-RetentionStamp >= lead. Fills, write hits, and SetRetentionStamp
+// feed the wheel automatically; DueSets drains one boundary's bucket.
+func (c *Cache) EnableExpiryWheel(tick, lead int64) {
+	c.wheel = newExpiryWheel(c.sets, tick, lead)
+}
+
+// DueCursor iterates the sets of one scan boundary's bucket in
+// ascending order, clearing the bucket as it goes. The zero cursor is
+// exhausted.
+type DueCursor struct {
+	words []uint64
+	word  uint64
+	base  int
+	i     int
+}
+
+// DueSets returns a cursor over the sets that may hold a line due at
+// the scan boundary (a multiple of the wheel's tick). The bucket is
+// consumed: lines still resident re-enter the wheel when next written
+// or refreshed, and due lines are expected to be refreshed or
+// invalidated by the caller.
+func (c *Cache) DueSets(boundary int64) DueCursor {
+	w := c.wheel
+	b := int((boundary/w.tick)%w.n) * w.words
+	return DueCursor{words: w.buckets[b : b+w.words]}
+}
+
+// Next returns the next marked set, or ok=false when the bucket is
+// drained.
+func (cur *DueCursor) Next() (set int, ok bool) {
+	for {
+		if cur.word != 0 {
+			b := bits.TrailingZeros64(cur.word)
+			cur.word &= cur.word - 1
+			return cur.base + b, true
+		}
+		if cur.i >= len(cur.words) {
+			return 0, false
+		}
+		cur.word = cur.words[cur.i]
+		cur.words[cur.i] = 0
+		cur.base = cur.i << 6
+		cur.i++
+	}
+}

@@ -1,0 +1,127 @@
+package cache
+
+import "testing"
+
+// collect drains a cursor into a slice.
+func collect(cur DueCursor) []int {
+	var out []int
+	for set, ok := cur.Next(); ok; set, ok = cur.Next() {
+		out = append(out, set)
+	}
+	return out
+}
+
+func TestWheelMarksAtDueBoundary(t *testing.T) {
+	c := New(8*2*64, 2, 64) // 8 sets
+	c.EnableExpiryWheel(10, 25)
+	// A fill at cycle 7 is due at the first boundary >= 7+25 = 32,
+	// i.e. boundary 40.
+	c.Fill(0x000, false, 7)
+	for _, b := range []int64{10, 20, 30} {
+		if got := collect(c.DueSets(b)); len(got) != 0 {
+			t.Fatalf("boundary %d: due sets = %v, want none", b, got)
+		}
+	}
+	got := collect(c.DueSets(40))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("boundary 40: due sets = %v, want [0]", got)
+	}
+	// The bucket is consumed.
+	if got := collect(c.DueSets(40)); len(got) != 0 {
+		t.Fatalf("second drain returned %v", got)
+	}
+}
+
+func TestWheelRewriteLeavesOnlyStaleMark(t *testing.T) {
+	c := New(8*2*64, 2, 64)
+	c.EnableExpiryWheel(10, 25)
+	c.Fill(0x000, false, 7) // due at 40
+	set, way, _ := c.Probe(0x000)
+	c.AccessAt(set, way, true, 12) // rewrite: now due at 40 too (12+25=37)
+	c.SetRetentionStamp(set, way, 18) // refresh: due at 50 (18+25=43)
+	// The stale marks at 40 still name set 0, but the line is not due
+	// there by its authoritative stamp — the caller's age check skips it.
+	for _, b := range collect(c.DueSets(40)) {
+		if now, stamp := int64(40), c.RetentionStampAt(set, way); b == set && now-stamp >= 25 {
+			t.Fatalf("line due at 40 despite refresh at 18 (stamp %d)", stamp)
+		}
+	}
+	got := collect(c.DueSets(50))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("boundary 50: due sets = %v, want [0]", got)
+	}
+}
+
+func TestWheelEveryDueLineIsMarked(t *testing.T) {
+	// Property over many (tick, lead, stamp) combinations: the bucket of
+	// the first boundary >= stamp+lead must contain the set.
+	for _, tick := range []int64{1, 3, 10, 64} {
+		for _, lead := range []int64{1, 2, 9, 10, 11, 100} {
+			c := New(16*2*64, 2, 64)
+			c.EnableExpiryWheel(tick, lead)
+			for stamp := int64(0); stamp < 3*tick+2; stamp++ {
+				c.wheel.reset()
+				c.wheel.mark(5, stamp)
+				due := ((stamp + lead + tick - 1) / tick) * tick
+				got := collect(c.DueSets(due))
+				if len(got) != 1 || got[0] != 5 {
+					t.Fatalf("tick=%d lead=%d stamp=%d: due sets at %d = %v",
+						tick, lead, stamp, due, got)
+				}
+			}
+		}
+	}
+}
+
+func TestWheelLeadClamp(t *testing.T) {
+	// Degenerate geometry (retention <= resolution) must still place
+	// marks strictly in the future of the stamp.
+	c := New(8*2*64, 2, 64)
+	c.EnableExpiryWheel(1, 0)
+	c.Fill(0x000, false, 5)
+	if got := collect(c.DueSets(5)); len(got) != 0 {
+		t.Fatalf("mark landed on the already-scanned boundary: %v", got)
+	}
+	got := collect(c.DueSets(6))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("boundary 6: due sets = %v, want [0]", got)
+	}
+}
+
+func TestWheelCursorMultiWord(t *testing.T) {
+	// >64 sets exercises the multi-word bucket bitmap.
+	c := New(128*2*64, 2, 64) // 128 sets
+	c.EnableExpiryWheel(10, 25)
+	want := []int{0, 63, 64, 100, 127}
+	for _, s := range want {
+		c.wheel.mark(s, 7)
+	}
+	got := collect(c.DueSets(40))
+	if len(got) != len(want) {
+		t.Fatalf("due sets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("due sets = %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+func TestWheelResetClearsMarks(t *testing.T) {
+	c := New(8*2*64, 2, 64)
+	c.EnableExpiryWheel(10, 25)
+	c.Fill(0x000, true, 7)
+	c.Reset()
+	if got := collect(c.DueSets(40)); len(got) != 0 {
+		t.Fatalf("Reset left wheel marks: %v", got)
+	}
+}
+
+func TestWheelTickPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("newExpiryWheel(tick=0) did not panic")
+		}
+	}()
+	newExpiryWheel(8, 0, 1)
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"math/bits"
 	"time"
 
 	"sttllc/internal/dram"
@@ -252,7 +253,9 @@ type ports [subArrays]int64
 // acquire reserves the subarray holding addr from cycle at for occ cycles
 // and returns when the access begins.
 func (p *ports) acquire(addr uint64, lineBytes int, at, occ int64) int64 {
-	i := (addr / uint64(lineBytes)) % subArrays
+	// lineBytes is a power of two (enforced by cache.New), so the line
+	// index is a shift, not a divide.
+	i := (addr >> uint(bits.TrailingZeros(uint(lineBytes)))) & (subArrays - 1)
 	start := at
 	if p[i] > start {
 		start = p[i]
@@ -265,64 +268,130 @@ func (p *ports) acquire(addr uint64, lineBytes int, at, occ int64) int64 {
 func (p *ports) reset() { *p = ports{} }
 
 // mshr tracks in-flight line fills so misses to the same line merge onto
-// one DRAM access instead of fetching it repeatedly.
+// one DRAM access instead of fetching it repeatedly. The table is a small
+// open-addressing hash table (linear probing, tombstone deletion) rather
+// than a Go map: the bank probes it on every access, and the custom
+// layout makes lookup a few cache lines with no hashing indirection.
 type mshr struct {
-	inflight map[uint64]int64 // line address -> fill completion cycle
-	lastSeen int64            // latest lookup cycle, for expiry sweeps
-	sweepAt  int              // table size that triggers the next sweep
+	slots    []mshrSlot // power-of-two sized; nil until the first insert
+	spare    []mshrSlot // retired table kept for the next rebuild
+	live     int        // occupied, non-tombstone slots
+	dead     int        // tombstones awaiting a rebuild
+	lastSeen int64      // latest lookup cycle, for expiry sweeps
 }
 
-// mshrSweepLen bounds the table: expired entries (done <= now) already
-// behave as absent, so sweeping them on growth past this size changes no
-// observable behavior — it only keeps the map at the true in-flight
-// population instead of accreting every line ever missed. The trigger
-// doubles relative to the survivors of each sweep, so sweep cost stays
-// amortized O(1) even if the live population exceeds the floor.
-const mshrSweepLen = 256
+type mshrSlot struct {
+	addr  uint64
+	done  int64
+	state uint8 // 0 empty, 1 full, 2 tombstone
+}
+
+// mshrMinCap is the initial table size; small because most banks in the
+// short-lived evaluation runs only ever hold a handful of in-flight
+// fills.
+const mshrMinCap = 16
 
 func newMSHR() *mshr {
-	return &mshr{
-		inflight: make(map[uint64]int64, mshrSweepLen),
-		sweepAt:  mshrSweepLen,
-	}
+	return &mshr{}
+}
+
+func mshrHash(addr uint64) uint64 {
+	return addr * 0x9E3779B97F4A7C15
 }
 
 // lookup returns the completion cycle of an in-flight fill for addr, if
 // any, pruning completed entries opportunistically.
 func (m *mshr) lookup(addr uint64, now int64) (int64, bool) {
 	m.lastSeen = now
-	done, ok := m.inflight[addr]
-	if !ok {
+	if m.live == 0 {
 		return 0, false
 	}
-	if done <= now {
-		delete(m.inflight, addr)
-		return 0, false
+	mask := uint64(len(m.slots) - 1)
+	for i := mshrHash(addr) >> 33 & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.state == 0 {
+			return 0, false
+		}
+		if s.state == 1 && s.addr == addr {
+			if s.done <= now {
+				s.state = 2 // expired: tombstone it
+				m.live--
+				m.dead++
+				return 0, false
+			}
+			return s.done, true
+		}
 	}
-	return done, true
 }
 
-// insert records a new in-flight fill.
+// insert records a new in-flight fill. The caller has already concluded
+// (via lookup) that addr is absent.
 func (m *mshr) insert(addr uint64, done int64) {
-	if len(m.inflight) >= m.sweepAt {
-		for a, d := range m.inflight {
-			if d <= m.lastSeen {
-				delete(m.inflight, a)
+	if (m.live+m.dead+1)*4 > len(m.slots)*3 {
+		m.rebuild()
+	}
+	mask := uint64(len(m.slots) - 1)
+	for i := mshrHash(addr) >> 33 & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.state != 1 {
+			if s.state == 2 {
+				m.dead--
+			}
+			*s = mshrSlot{addr: addr, done: done, state: 1}
+			m.live++
+			return
+		}
+		if s.addr == addr {
+			s.done = done
+			return
+		}
+	}
+}
+
+// rebuild rehashes the live entries into a table sized for them,
+// dropping tombstones and entries that expired before the latest
+// lookup (they already behave as absent, so this changes no observable
+// behavior).
+func (m *mshr) rebuild() {
+	capNew := mshrMinCap
+	for capNew*2 < (m.live+1)*4 { // target <= 50% load after rebuild
+		capNew *= 2
+	}
+	old := m.slots
+	if cap(m.spare) >= capNew {
+		m.slots = m.spare[:capNew]
+		clear(m.slots)
+	} else {
+		m.slots = make([]mshrSlot, capNew)
+	}
+	m.spare = old[:0]
+	m.live = 0
+	m.dead = 0
+	mask := uint64(capNew - 1)
+	for _, s := range old {
+		if s.state != 1 || s.done <= m.lastSeen {
+			continue
+		}
+		for i := mshrHash(s.addr) >> 33 & mask; ; i = (i + 1) & mask {
+			if m.slots[i].state == 0 {
+				m.slots[i] = s
+				m.live++
+				break
 			}
 		}
-		m.sweepAt = 2 * len(m.inflight)
-		if m.sweepAt < mshrSweepLen {
-			m.sweepAt = mshrSweepLen
-		}
 	}
-	m.inflight[addr] = done
 }
 
-// reset clears all entries.
+// reset clears all entries, keeping the larger slab as the spare so a
+// reset bank re-fills without re-growing from scratch.
 func (m *mshr) reset() {
-	m.inflight = make(map[uint64]int64, mshrSweepLen)
+	if cap(m.slots) > cap(m.spare) {
+		m.spare = m.slots[:0]
+	}
+	m.slots = nil
+	m.live = 0
+	m.dead = 0
 	m.lastSeen = 0
-	m.sweepAt = mshrSweepLen
 }
 
 // writeback issues a dirty-line writeback to DRAM.

@@ -60,8 +60,8 @@ func TestMSHRMergeAndExpiry(t *testing.T) {
 		t.Error("completed fill should not merge")
 	}
 	// And it was pruned.
-	if len(m.inflight) != 0 {
-		t.Errorf("pruning failed: %d entries", len(m.inflight))
+	if m.live != 0 {
+		t.Errorf("pruning failed: %d entries", m.live)
 	}
 	if _, ok := m.lookup(0x2000, 0); ok {
 		t.Error("unknown line should not merge")
@@ -70,6 +70,40 @@ func TestMSHRMergeAndExpiry(t *testing.T) {
 	m.reset()
 	if _, ok := m.lookup(0x3000, 0); ok {
 		t.Error("reset should clear entries")
+	}
+}
+
+func TestMSHRManyLines(t *testing.T) {
+	// Force several rebuilds and colliding probe chains.
+	m := newMSHR()
+	const n = 500
+	for i := 0; i < n; i++ {
+		m.insert(uint64(i)*0x40, int64(1000+i))
+	}
+	for i := 0; i < n; i++ {
+		if done, ok := m.lookup(uint64(i)*0x40, 0); !ok || done != int64(1000+i) {
+			t.Fatalf("line %d: lookup = %d, %v; want %d, true", i, done, ok, 1000+i)
+		}
+	}
+	// Expire the first half by advancing the clock past their fills,
+	// then churn in a fresh batch and verify the survivors.
+	for i := 0; i < n/2; i++ {
+		if _, ok := m.lookup(uint64(i)*0x40, int64(1000+i)); ok {
+			t.Fatalf("line %d should have expired", i)
+		}
+	}
+	for i := n; i < n+200; i++ {
+		m.insert(uint64(i)*0x40, 9000)
+	}
+	for i := n / 2; i < n; i++ {
+		if done, ok := m.lookup(uint64(i)*0x40, 1249); !ok || done != int64(1000+i) {
+			t.Fatalf("line %d after churn: lookup = %d, %v; want %d, true", i, done, ok, 1000+i)
+		}
+	}
+	for i := n; i < n+200; i++ {
+		if done, ok := m.lookup(uint64(i)*0x40, 2000); !ok || done != 9000 {
+			t.Fatalf("fresh line %d: lookup = %d, %v; want 9000, true", i, done, ok)
+		}
 	}
 }
 

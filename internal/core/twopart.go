@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"sttllc/internal/cache"
 	"sttllc/internal/dram"
 	"sttllc/internal/sttram"
@@ -117,6 +119,11 @@ type TwoPartBank struct {
 	lrWriteOcc int64
 	hrWriteOcc int64
 
+	// Scratch buffers for the retention scans, owned by the bank so the
+	// steady-state tick path allocates nothing.
+	scanRefresh [][2]int
+	scanDrop    [][2]int
+
 	stats  BankStats
 	energy Energy
 }
@@ -163,6 +170,11 @@ func NewTwoPartBank(cfg TwoPartConfig, mc *dram.Controller) *TwoPartBank {
 	if b.hrTickCy < 1 {
 		b.hrTickCy = 1
 	}
+	// Incremental expiry: the wheel's lead is each scan's age threshold,
+	// so a line is bucketed at exactly the boundary where the full scan
+	// would have found it due.
+	b.lr.EnableExpiryWheel(b.lrTickCy, b.lrRetCy-b.lrTickCy)
+	b.hr.EnableExpiryWheel(b.hrTickCy, b.hrRetCy)
 	b.threshold = cfg.WriteThreshold
 	b.stats.RewriteIntervals = NewRewriteHistogram()
 	return b
@@ -228,9 +240,8 @@ func (b *TwoPartBank) accessWrite(now int64, addr uint64) (int64, bool) {
 	// Writes search the LR part first (cache search selector).
 	if set, way, hit := b.lr.Probe(addr); hit {
 		at := start + b.probeCost(1)
-		line := b.lr.LineAt(set, way)
-		b.stats.RewriteIntervals.Add(usOf(now-line.LastWriteCycle, b.cfg.ClockHz))
-		b.lr.Access(addr, true, now)
+		b.stats.RewriteIntervals.Add(usOf(now-b.lr.LastWriteCycleAt(set, way), b.cfg.ClockHz))
+		b.lr.AccessAt(set, way, true, now)
 		b.stats.WriteHits++
 		b.stats.LRWriteHits++
 		b.energy.DataWrite += b.lrWriteE
@@ -239,11 +250,10 @@ func (b *TwoPartBank) accessWrite(now int64, addr uint64) (int64, bool) {
 
 	if set, way, hit := b.hr.Probe(addr); hit {
 		at := start + b.probeCost(2)
-		line := b.hr.LineAt(set, way)
-		b.hr.Access(addr, true, now) // increments WC, sets dirty
+		b.hr.AccessAt(set, way, true, now) // increments WC, sets dirty
 		b.stats.WriteHits++
 		b.stats.HRWriteHits++
-		if !b.cfg.DisableMigration && line.WriteCount >= b.threshold {
+		if !b.cfg.DisableMigration && b.hr.WriteCountAt(set, way) >= b.threshold {
 			// Frequently-written block: migrate HR -> LR, merging the
 			// store into the migrating copy. Foreground cost is the
 			// buffer handoff (with backpressure when the buffer is
@@ -304,17 +314,17 @@ func (b *TwoPartBank) accessRead(now int64, addr uint64) (int64, bool) {
 	start := b.frontStart(now)
 
 	// Reads search the HR part first: read-mostly blocks live there.
-	if _, _, hit := b.hr.Probe(addr); hit {
+	if set, way, hit := b.hr.Probe(addr); hit {
 		at := start + b.probeCost(1)
-		b.hr.Access(addr, false, now)
+		b.hr.AccessAt(set, way, false, now)
 		b.stats.ReadHits++
 		b.stats.HRReadHits++
 		b.energy.DataRead += b.hrReadE
 		return b.hrPorts.acquire(addr, b.cfg.LineBytes, at, pipelineCycles) + b.hrReadCy, true
 	}
-	if _, _, hit := b.lr.Probe(addr); hit {
+	if set, way, hit := b.lr.Probe(addr); hit {
 		at := start + b.probeCost(2)
-		b.lr.Access(addr, false, now)
+		b.lr.AccessAt(set, way, false, now)
 		b.stats.ReadHits++
 		b.stats.LRReadHits++
 		b.energy.DataRead += b.lrReadE
@@ -413,20 +423,25 @@ func (b *TwoPartBank) scanLR(now int64) {
 		b.adaptThreshold()
 	}
 	b.energy.RCCounters += rcEnergy * float64(b.lr.ValidLines())
-	var refresh, drop [][2]int
-	b.lr.Range(func(set, way int, l *cache.Line) {
-		age := now - l.RetentionStamp
-		if age >= b.lrRetCy-b.lrTickCy {
-			if b.lr2hr.tryEnqueue(now, b.lrWriteOcc) {
-				refresh = append(refresh, [2]int{set, way})
-			} else {
-				drop = append(drop, [2]int{set, way})
+	refresh, drop := b.scanRefresh[:0], b.scanDrop[:0]
+	words := b.lr.MaskWords()
+	cur := b.lr.DueSets(now)
+	for set, ok := cur.Next(); ok; set, ok = cur.Next() {
+		for wi := 0; wi < words; wi++ {
+			for m := b.lr.ValidWord(set, wi); m != 0; m &= m - 1 {
+				way := wi<<6 + bits.TrailingZeros64(m)
+				if now-b.lr.RetentionStampAt(set, way) >= b.lrRetCy-b.lrTickCy {
+					if b.lr2hr.tryEnqueue(now, b.lrWriteOcc) {
+						refresh = append(refresh, [2]int{set, way})
+					} else {
+						drop = append(drop, [2]int{set, way})
+					}
+				}
 			}
 		}
-	})
+	}
 	for _, sw := range refresh {
-		l := b.lr.LineAt(sw[0], sw[1])
-		l.RetentionStamp = now
+		b.lr.SetRetentionStamp(sw[0], sw[1], now)
 		b.stats.Refreshes++
 		b.energy.Refresh += b.lrReadE + b.lrWriteE
 		b.energy.Buffer += b.bufE
@@ -439,16 +454,24 @@ func (b *TwoPartBank) scanLR(now int64) {
 		}
 		b.stats.LRExpiryDrops++
 	}
+	b.scanRefresh, b.scanDrop = refresh[:0], drop[:0]
 }
 
 func (b *TwoPartBank) scanHR(now int64) {
 	b.energy.RCCounters += rcEnergy * float64(b.hr.ValidLines())
-	var expired [][2]int
-	b.hr.Range(func(set, way int, l *cache.Line) {
-		if now-l.RetentionStamp >= b.hrRetCy {
-			expired = append(expired, [2]int{set, way})
+	expired := b.scanDrop[:0]
+	words := b.hr.MaskWords()
+	cur := b.hr.DueSets(now)
+	for set, ok := cur.Next(); ok; set, ok = cur.Next() {
+		for wi := 0; wi < words; wi++ {
+			for m := b.hr.ValidWord(set, wi); m != 0; m &= m - 1 {
+				way := wi<<6 + bits.TrailingZeros64(m)
+				if now-b.hr.RetentionStampAt(set, way) >= b.hrRetCy {
+					expired = append(expired, [2]int{set, way})
+				}
+			}
 		}
-	})
+	}
 	for _, sw := range expired {
 		ev := b.hr.InvalidateWay(sw[0], sw[1])
 		if ev.Dirty {
@@ -456,6 +479,7 @@ func (b *TwoPartBank) scanHR(now int64) {
 		}
 		b.stats.HRExpiries++
 	}
+	b.scanDrop = expired[:0]
 }
 
 // adaptThreshold retunes the write threshold once per LR counter
@@ -482,14 +506,11 @@ func (b *TwoPartBank) adaptThreshold() {
 
 // Drain implements Bank.
 func (b *TwoPartBank) Drain(now int64) {
-	for _, arr := range []*cache.Cache{b.lr, b.hr} {
-		arr.Range(func(set, way int, l *cache.Line) {
-			if l.Dirty {
-				writeback(b.mc, now, arr.AddrOf(set, l.Tag), &b.stats)
-				l.Dirty = false
-			}
-		})
+	wb := func(set, way int, addr uint64) {
+		writeback(b.mc, now, addr, &b.stats)
 	}
+	b.lr.FlushDirty(wb)
+	b.hr.FlushDirty(wb)
 }
 
 // Stats implements Bank.

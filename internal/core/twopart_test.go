@@ -353,7 +353,7 @@ func TestBlockNeverInBothPartsProperty(t *testing.T) {
 		}
 		// No line may be valid in both parts.
 		dup := false
-		b.lr.Range(func(set, way int, l *cache.Line) {
+		b.lr.Range(func(set, way int, l cache.Line) {
 			addr := b.lr.AddrOf(set, l.Tag)
 			if _, _, inHR := b.hr.Probe(addr); inHR {
 				dup = true

@@ -111,11 +111,10 @@ func (b *UniformBank) Access(now int64, addr uint64, write bool) (int64, bool) {
 
 	set, way, hit := b.arr.Probe(addr)
 	if hit {
-		line := b.arr.LineAt(set, way)
-		if write && line.Dirty {
-			b.stats.RewriteIntervals.Add(usOf(now-line.LastWriteCycle, b.cfg.ClockHz))
+		if write && b.arr.DirtyAt(set, way) {
+			b.stats.RewriteIntervals.Add(usOf(now-b.arr.LastWriteCycleAt(set, way), b.cfg.ClockHz))
 		}
-		b.arr.Access(addr, write, now)
+		b.arr.AccessAt(set, way, write, now)
 		if write {
 			b.stats.WriteHits++
 			b.energy.DataWrite += b.writeE
@@ -171,11 +170,8 @@ func (b *UniformBank) TickPeriod() int64 { return 0 }
 
 // Drain implements Bank: write back all dirty lines.
 func (b *UniformBank) Drain(now int64) {
-	b.arr.Range(func(set, way int, l *cache.Line) {
-		if l.Dirty {
-			writeback(b.mc, now, b.arr.AddrOf(set, l.Tag), &b.stats)
-			l.Dirty = false
-		}
+	b.arr.FlushDirty(func(set, way int, addr uint64) {
+		writeback(b.mc, now, addr, &b.stats)
 	})
 }
 

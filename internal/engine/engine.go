@@ -10,6 +10,12 @@
 // that want parallelism run independent engines (the simulator runs one
 // engine per Simulator, and the experiment harnesses fan whole runs out
 // across workers).
+//
+// Events live in a flat arena indexed by int32 handles rather than as
+// individual heap objects: the wheel buckets, the heap, and the free
+// list all hold plain integers, so the hot re-arm loop allocates nothing
+// (the arena doubles amortized) and moves events without GC write
+// barriers.
 package engine
 
 import "math/bits"
@@ -18,22 +24,50 @@ import "math/bits"
 // which for ordinary events equals the cycle the event was scheduled at.
 type Func func(now int64)
 
-// event is one scheduled callback. dead marks events that were canceled
-// or already fired; they are skipped and pruned lazily.
+// event is one scheduled callback, stored in the engine's arena. dead
+// marks events that were canceled or already fired; they are skipped and
+// pruned lazily.
+//
+// An event dispatches one of two ways: actor >= 0 indexes the engine's
+// registered actor callbacks (Waker wakes — the hot path), so re-arming
+// writes only integers into the arena and the GC write barrier never
+// fires; actor < 0 means fn holds a one-shot callback (Schedule). A
+// fired or canceled slot's fn is left stale rather than nil'd — it is
+// never read again (actor gates dispatch) and clearing it would itself
+// be a pointer write.
 type event struct {
-	at   int64
-	prio int32
-	near bool
-	dead bool
-	seq  uint64
-	fn   Func
+	at    int64
+	prio  int32
+	actor int32
+	near  bool
+	dead  bool
+	seq   uint64
+	fn    Func
+}
+
+// none is the nil event handle.
+const none int32 = -1
+
+// farEntry is one heap slot. It carries the fire time so heap ordering
+// and peeks stay inside the (small, contiguous) heap array instead of
+// chasing handles into the arena; prio/seq tiebreaks still read the
+// arena, but same-time collisions in the far horizon are rare.
+type farEntry struct {
+	at  int64
+	idx int32
 }
 
 // wheelSize is the short-horizon window, in cycles, served by the timing
 // wheel. Events scheduled within wheelSize cycles of the clock go into a
 // ring bucket (O(1) insert and drain — the common case: an SM waking
-// next cycle); events further out go to the heap.
-const wheelSize = 64
+// next cycle); events further out go to the heap. 512 cycles covers the
+// whole memory hierarchy (a DRAM row miss plus network transit is well
+// under 300), so in steady state the heap only sees coarse timers and
+// retention-scan boundaries.
+const (
+	wheelSize  = 512
+	wheelWords = wheelSize / 64
+)
 
 // Engine is a monotonic event scheduler. The zero value is not ready;
 // use New.
@@ -42,18 +76,28 @@ type Engine struct {
 	seq  uint64
 	live int
 
-	far   eventHeap
-	wheel [wheelSize][]*event
-	near  int    // live events currently in the wheel
-	mask  uint64 // occupancy bit per wheel bucket (cleared lazily)
+	events []event // arena; handles index into it
+	free   []int32 // recycled handles (the hot loop re-arms millions)
 
-	batch []*event // scratch for one same-cycle firing batch
-	free  []*event // recycled events (the hot loop re-arms millions)
+	far       []farEntry // binary min-heap on (at, prio, seq)
+	farDead   int        // canceled events still parked in the heap
+	wheel     [wheelSize][]int32
+	wheelLive [wheelSize]int32 // live events per bucket
+	near      int              // live events currently in the wheel
+	mask      [wheelWords]uint64 // occupancy bit per wheel bucket (cleared lazily)
+
+	batch []int32 // scratch for one same-cycle firing batch
+
+	actorFns []Func // per-Waker callbacks, indexed by event.actor
 }
 
 // New returns an engine with its clock at start.
 func New(start int64) *Engine {
-	return &Engine{now: start}
+	// Size the arena for a typical complement of wakers up front: live
+	// events at any instant number in the tens, so one slab avoids the
+	// append-doubling copies (and their pointer write barriers — event
+	// holds a Func) on the schedule hot path.
+	return &Engine{now: start, events: make([]event, 0, 64)}
 }
 
 // Now returns the engine clock: the latest cycle passed to RunUntil (or
@@ -69,48 +113,63 @@ func (e *Engine) Schedule(at int64, fn Func) {
 	e.schedule(at, 0, fn)
 }
 
-func (e *Engine) schedule(at int64, prio int32, fn Func) *event {
+func (e *Engine) schedule(at int64, prio int32, fn Func) int32 {
+	idx := e.scheduleActor(at, prio, -1)
+	e.events[idx].fn = fn
+	return idx
+}
+
+// scheduleActor registers an arena event without touching its fn field:
+// actor >= 0 dispatches through actorFns, so re-arming a waker writes no
+// pointers.
+func (e *Engine) scheduleActor(at int64, prio, actor int32) int32 {
 	if at < e.now {
 		panic("engine: event scheduled into the past")
 	}
-	var ev *event
+	var idx int32
 	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
+		idx = e.free[n-1]
 		e.free = e.free[:n-1]
-		*ev = event{at: at, prio: prio, seq: e.seq, fn: fn}
+		ev := &e.events[idx]
+		ev.at, ev.prio, ev.actor, ev.near, ev.dead, ev.seq = at, prio, actor, false, false, e.seq
 	} else {
-		ev = &event{at: at, prio: prio, seq: e.seq, fn: fn}
+		idx = int32(len(e.events))
+		e.events = append(e.events, event{at: at, prio: prio, actor: actor, seq: e.seq})
 	}
 	e.seq++
 	e.live++
 	if at-e.now < wheelSize {
-		ev.near = true
+		e.events[idx].near = true
 		i := uint64(at) % wheelSize
-		e.wheel[i] = append(e.wheel[i], ev)
+		e.wheel[i] = append(e.wheel[i], idx)
+		e.wheelLive[i]++
 		e.near++
-		e.mask |= 1 << i
+		e.mask[i>>6] |= 1 << (i & 63)
 	} else {
-		e.far.push(ev)
+		e.heapPush(at, idx)
 	}
-	return ev
+	return idx
 }
 
 // recycle returns an event to the freelist. Called exactly once per
 // event, at the moment it leaves its container (fired, or pruned after
-// cancellation).
-func (e *Engine) recycle(ev *event) {
-	ev.fn = nil
-	e.free = append(e.free, ev)
+// cancellation). The slot's fn is deliberately left stale; see event.
+func (e *Engine) recycle(idx int32) {
+	e.free = append(e.free, idx)
 }
 
-func (e *Engine) cancel(ev *event) {
-	if ev == nil || ev.dead {
+func (e *Engine) cancel(idx int32) {
+	ev := &e.events[idx]
+	if ev.dead {
 		return
 	}
 	ev.dead = true
 	e.live--
 	if ev.near {
 		e.near--
+		e.wheelLive[uint64(ev.at)%wheelSize]--
+	} else {
+		e.farDead++
 	}
 }
 
@@ -127,46 +186,66 @@ func (e *Engine) Peek() (at int64, ok bool) {
 }
 
 // peekWheel scans the ring from the clock forward for the earliest live
-// near event, walking set occupancy bits instead of all 64 buckets.
+// near event, walking occupancy-mask words instead of all buckets.
 // Invariant: every live wheel entry has at in [now, now+wheelSize), and
 // entries sharing a bucket share the same at, so the first live bucket
-// hit is the wheel minimum.
+// hit in fire order is the wheel minimum.
 func (e *Engine) peekWheel() (int64, bool) {
 	if e.near == 0 {
 		return 0, false
 	}
 	base := uint(uint64(e.now) % wheelSize)
-	// Rotate so bit k of rot corresponds to cycle now+k.
-	rot := bits.RotateLeft64(e.mask, -int(base))
-	for rot != 0 {
-		k := bits.TrailingZeros64(rot)
-		i := (base + uint(k)) % wheelSize
-		bucket := e.wheel[i]
-		liveHere := false
-		for _, ev := range bucket {
-			if !ev.dead {
-				liveHere = true
+	bw, bb := base>>6, base&63
+	// Walk mask words in fire order starting at base's word; the word
+	// holding base is visited twice — bits >= bb first, bits < bb after
+	// the ring wraps all the way around.
+	for n := uint(0); n <= wheelWords; n++ {
+		wi := (bw + n) & (wheelWords - 1)
+		w := e.mask[wi]
+		if n == 0 {
+			w &= ^uint64(0) << bb
+		} else if n == wheelWords {
+			if bb == 0 {
 				break
 			}
+			w &= uint64(1)<<bb - 1
 		}
-		if liveHere {
-			return e.now + int64(k), true
+		for w != 0 {
+			k := uint(bits.TrailingZeros64(w))
+			i := wi<<6 + k
+			// Live wheel entries have at in [now, now+wheelSize), so
+			// every live entry of bucket i fires at exactly now + its
+			// ring distance — the counter answers liveness without
+			// touching the events.
+			if e.wheelLive[i] > 0 {
+				d := (i - base) & (wheelSize - 1)
+				return e.now + int64(d), true
+			}
+			for _, idx := range e.wheel[i] {
+				e.recycle(idx)
+			}
+			e.wheel[i] = e.wheel[i][:0] // all dead: reclaim the bucket
+			e.mask[wi] &^= 1 << k
+			w &^= 1 << k
 		}
-		for _, ev := range bucket {
-			e.recycle(ev)
-		}
-		e.wheel[i] = bucket[:0] // all dead: reclaim the bucket
-		e.mask &^= 1 << i
-		rot &^= 1 << uint(k)
 	}
 	return 0, false
 }
 
-// peekFar returns the heap minimum, pruning dead tops.
+// peekFar returns the heap minimum, pruning dead tops. With no canceled
+// entries parked in the heap (the common case) it never touches the
+// arena.
 func (e *Engine) peekFar() (int64, bool) {
+	if e.farDead == 0 {
+		if len(e.far) == 0 {
+			return 0, false
+		}
+		return e.far[0].at, true
+	}
 	for len(e.far) > 0 {
-		if e.far[0].dead {
-			e.recycle(e.far.pop())
+		if e.events[e.far[0].idx].dead {
+			e.recycle(e.heapPop())
+			e.farDead--
 			continue
 		}
 		return e.far[0].at, true
@@ -197,53 +276,111 @@ func (e *Engine) RunUntil(limit int64) int {
 	return fired
 }
 
+// Advance is RunUntil fused with a trailing Peek: it fires everything
+// due through limit and returns the next pending fire time (ok=false
+// when the queue is empty), reusing the peek that ended the firing loop
+// instead of repeating it.
+func (e *Engine) Advance(limit int64) (next int64, ok bool) {
+	if limit < e.now {
+		panic("engine: clock must be monotonic")
+	}
+	for e.live > 0 {
+		at, peeked := e.Peek()
+		if !peeked {
+			break
+		}
+		if at > limit {
+			if limit > e.now {
+				e.now = limit
+			}
+			return at, true
+		}
+		e.now = at
+		e.runBatch(at)
+	}
+	if limit > e.now {
+		e.now = limit
+	}
+	return 0, false
+}
+
 // runBatch fires every event scheduled at exactly cycle at, in
 // (priority, registration) order.
 func (e *Engine) runBatch(at int64) int {
-	batch := e.batch[:0]
 	i := uint64(at) % wheelSize
-	if len(e.wheel[i]) > 0 {
-		for _, ev := range e.wheel[i] {
-			if !ev.dead && ev.at == at {
-				batch = append(batch, ev)
+	// Fast path: one live near event, nothing due in the heap — fire it
+	// without batch assembly or sorting. (A lone live wheel entry in this
+	// bucket fires at exactly at; see peekWheel's invariant.)
+	if len(e.wheel[i]) == 1 && e.wheelLive[i] == 1 {
+		if top, due := e.peekFar(); !due || top != at {
+			idx := e.wheel[i][0]
+			e.wheel[i] = e.wheel[i][:0]
+			e.near--
+			e.wheelLive[i] = 0
+			e.mask[i>>6] &^= 1 << (i & 63)
+			ev := &e.events[idx]
+			ev.dead = true
+			e.live--
+			actor, fn := ev.actor, ev.fn
+			e.recycle(idx)
+			if actor >= 0 {
+				e.actorFns[actor](at)
 			} else {
-				e.recycle(ev)
+				fn(at)
+			}
+			return 1
+		}
+	}
+	batch := e.batch[:0]
+	if len(e.wheel[i]) > 0 {
+		for _, idx := range e.wheel[i] {
+			if ev := &e.events[idx]; !ev.dead && ev.at == at {
+				batch = append(batch, idx)
+			} else {
+				e.recycle(idx)
 			}
 		}
 		e.wheel[i] = e.wheel[i][:0]
 		e.near -= len(batch)
-		e.mask &^= 1 << i
+		e.wheelLive[i] = 0
+		e.mask[i>>6] &^= 1 << (i & 63)
 	}
 	for {
 		top, ok := e.peekFar()
 		if !ok || top != at {
 			break
 		}
-		batch = append(batch, e.far.pop())
+		batch = append(batch, e.heapPop())
 	}
 	// Insertion sort by (priority, sequence): batches are small and
 	// near-sorted (wheel entries arrive in registration order).
 	for j := 1; j < len(batch); j++ {
-		for k := j; k > 0 && less(batch[k], batch[k-1]); k-- {
+		for k := j; k > 0 && e.less(batch[k], batch[k-1]); k-- {
 			batch[k], batch[k-1] = batch[k-1], batch[k]
 		}
 	}
 	e.batch = batch[:0] // keep capacity for the next batch
-	for _, ev := range batch {
+	for _, idx := range batch {
+		ev := &e.events[idx]
 		ev.dead = true
 		e.live--
-		fn := ev.fn
-		e.recycle(ev)
-		fn(at)
+		actor, fn := ev.actor, ev.fn
+		e.recycle(idx)
+		if actor >= 0 {
+			e.actorFns[actor](at)
+		} else {
+			fn(at)
+		}
 	}
 	return len(batch)
 }
 
-func less(a, b *event) bool {
-	if a.prio != b.prio {
-		return a.prio < b.prio
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.events[a], &e.events[b]
+	if ea.prio != eb.prio {
+		return ea.prio < eb.prio
 	}
-	return a.seq < b.seq
+	return ea.seq < eb.seq
 }
 
 // Waker is a per-actor wake registration: at most one outstanding wake
@@ -251,73 +388,68 @@ func less(a, b *event) bool {
 // priority fire first among same-cycle wakes — the simulator assigns
 // each SM its ID so same-cycle steps keep hardware order.
 //
-// Invariant: ev is non-nil exactly while a registration is live. The
-// fire wrapper clears it before invoking the callback, so a recycled
-// event is never aliased through a stale Waker reference.
+// Invariant: ev is a live handle exactly while a registration is
+// outstanding. The fire wrapper clears it before invoking the callback,
+// so a recycled arena slot is never aliased through a stale Waker
+// handle.
 type Waker struct {
-	e    *Engine
-	prio int32
-	fn   Func
-	ev   *event
+	e     *Engine
+	prio  int32
+	actor int32
+	ev    int32
 }
 
-// NewWaker registers an actor callback with a fixed priority.
+// NewWaker registers an actor callback with a fixed priority. The
+// callback is stored once on the engine; subsequent WakeAt calls
+// reference it by index, keeping the re-arm path free of pointer
+// writes.
 func (e *Engine) NewWaker(prio int32, fn Func) *Waker {
-	w := &Waker{e: e, prio: prio}
-	w.fn = func(now int64) {
-		w.ev = nil
+	w := &Waker{e: e, prio: prio, actor: int32(len(e.actorFns)), ev: none}
+	e.actorFns = append(e.actorFns, func(now int64) {
+		w.ev = none
 		fn(now)
-	}
+	})
 	return w
 }
 
 // WakeAt schedules (or moves) the actor's single outstanding wake to
 // cycle at.
 func (w *Waker) WakeAt(at int64) {
-	if w.ev != nil {
-		if w.ev.at == at {
+	if w.ev != none {
+		if w.e.events[w.ev].at == at {
 			return
 		}
 		w.e.cancel(w.ev)
 	}
-	w.ev = w.e.schedule(at, w.prio, w.fn)
+	w.ev = w.e.scheduleActor(at, w.prio, w.actor)
 }
 
 // Cancel withdraws the outstanding wake, if any.
 func (w *Waker) Cancel() {
-	if w.ev != nil {
+	if w.ev != none {
 		w.e.cancel(w.ev)
-		w.ev = nil
+		w.ev = none
 	}
 }
 
 // Next returns the cycle of the outstanding wake, or ok=false when none
 // is scheduled.
 func (w *Waker) Next() (int64, bool) {
-	if w.ev == nil {
+	if w.ev == none {
 		return 0, false
 	}
-	return w.ev.at, true
+	return w.e.events[w.ev].at, true
 }
 
-// eventHeap is a plain binary min-heap on (at, prio, seq). Hand-rolled
-// rather than container/heap to avoid interface boxing on the hot path.
-type eventHeap []*event
-
-func heapLess(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return less(a, b)
-}
-
-func (h *eventHeap) push(ev *event) {
-	*h = append(*h, ev)
-	s := *h
+// heapPush inserts a handle into the far heap, ordered by
+// (at, prio, seq).
+func (e *Engine) heapPush(at int64, idx int32) {
+	e.far = append(e.far, farEntry{at: at, idx: idx})
+	s := e.far
 	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !heapLess(s[i], s[parent]) {
+		if !e.heapLess(s[i], s[parent]) {
 			break
 		}
 		s[i], s[parent] = s[parent], s[i]
@@ -325,22 +457,22 @@ func (h *eventHeap) push(ev *event) {
 	}
 }
 
-func (h *eventHeap) pop() *event {
-	s := *h
-	top := s[0]
+// heapPop removes and returns the heap minimum's handle.
+func (e *Engine) heapPop() int32 {
+	s := e.far
+	top := s[0].idx
 	last := len(s) - 1
 	s[0] = s[last]
-	s[last] = nil
 	s = s[:last]
-	*h = s
+	e.far = s
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(s) && heapLess(s[l], s[min]) {
+		if l < len(s) && e.heapLess(s[l], s[min]) {
 			min = l
 		}
-		if r < len(s) && heapLess(s[r], s[min]) {
+		if r < len(s) && e.heapLess(s[r], s[min]) {
 			min = r
 		}
 		if min == i {
@@ -350,4 +482,15 @@ func (h *eventHeap) pop() *event {
 		i = min
 	}
 	return top
+}
+
+func (e *Engine) heapLess(a, b farEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	ea, eb := &e.events[a.idx], &e.events[b.idx]
+	if ea.prio != eb.prio {
+		return ea.prio < eb.prio
+	}
+	return ea.seq < eb.seq
 }

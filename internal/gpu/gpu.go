@@ -281,6 +281,12 @@ func NewSM(id int, cfg SMConfig, model KernelModel, mem MemSystem, resident, fir
 		credits:    cfg.StoreCredits,
 		creditMin:  math.MaxInt64,
 	}
+	// Nothing SM-side reads per-line write counters, retention stamps,
+	// or wear from these caches — that bookkeeping belongs to the L2
+	// banks — so skip its cost entirely.
+	s.l1.DisableMetadata()
+	s.ccache.DisableMetadata()
+	s.tcache.DisableMetadata()
 	for i := range s.warps {
 		s.activate(i)
 	}
@@ -594,7 +600,7 @@ func (s *SM) execute(now int64, w *warpCtx, in Instr) {
 			w.wake = s.readOnlyLoad(now, s.tcache, in.Addr)
 			return
 		}
-		if hit, _ := s.l1.Access(in.Addr, false, now); hit {
+		if s.l1.Access(in.Addr, false, now) {
 			w.wake = now + s.cfg.L1HitLatency
 			return
 		}
@@ -619,8 +625,8 @@ func (s *SM) execute(now int64, w *warpCtx, in Instr) {
 func (s *SM) storeToMem(now int64, in Instr) int64 {
 	if in.Local() {
 		// Local data: write-back, write-allocate in L1.
-		if _, _, hit := s.l1.Probe(in.Addr); hit {
-			s.l1.Access(in.Addr, true, now)
+		if set, way, hit := s.l1.Probe(in.Addr); hit {
+			s.l1.AccessAt(set, way, true, now)
 			return now + 1
 		}
 		s.l1.Stats.WriteMisses++
@@ -641,7 +647,7 @@ func (s *SM) storeToMem(now int64, in Instr) int64 {
 // read-only cache, going to the L2 on a miss. Read-only caches never
 // hold dirty data, so fills simply drop the victim.
 func (s *SM) readOnlyLoad(now int64, c *cache.Cache, addr uint64) int64 {
-	if hit, _ := c.Access(addr, false, now); hit {
+	if c.Access(addr, false, now) {
 		return now + s.cfg.L1HitLatency
 	}
 	done := s.mem.Access(now, s.ID, addr, false)

@@ -1,0 +1,55 @@
+package sim
+
+import "math/bits"
+
+// bankRouter computes the line-interleaved (bank, bank-local line) pair
+// without a hardware divide on the hot path. Bank counts that are powers
+// of two reduce to shift/mask; any other count uses a precomputed
+// magic-number reciprocal: with m = floor(2^64/n), the high word of
+// line*m is either the true quotient or one less, settled by a single
+// conditional fixup — the standard strength reduction compilers emit for
+// division by a constant, done here by hand because the bank count is
+// only known at construction time.
+type bankRouter struct {
+	n     uint64
+	pow2  bool
+	shift uint
+	mask  uint64
+	magic uint64
+}
+
+func newBankRouter(n int) bankRouter {
+	if n <= 0 {
+		panic("sim: bank count must be positive")
+	}
+	r := bankRouter{n: uint64(n)}
+	if n&(n-1) == 0 {
+		r.pow2 = true
+		r.shift = uint(bits.TrailingZeros(uint(n)))
+		r.mask = uint64(n - 1)
+		return r
+	}
+	// floor(2^64/n) for n not a power of two: ^0/n = (2^64-1)/n and
+	// 2^64 = n*floor(2^64/n) + rem with rem >= 1, so subtracting one
+	// from the dividend cannot change the quotient.
+	r.magic = ^uint64(0) / uint64(n)
+	return r
+}
+
+// route splits a line number into its bank and bank-local line. The
+// quotient estimate hi(line*magic) is at most one below the true
+// quotient (line*magic = line*(2^64-rem)/n with rem < n, so the error
+// term line*rem/2^64 is below n), hence the remainder starts in [0, 2n)
+// and one fixup suffices.
+func (r *bankRouter) route(line uint64) (bank int, local uint64) {
+	if r.pow2 {
+		return int(line & r.mask), line >> r.shift
+	}
+	q, _ := bits.Mul64(line, r.magic)
+	rem := line - q*r.n
+	if rem >= r.n {
+		q++
+		rem -= r.n
+	}
+	return int(rem), q
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBankRouterMatchesDivision pins the strength-reduced router to the
+// reference divide/modulo for every bank count the configuration space
+// uses, across random line numbers (including the full 64-bit range the
+// magic-number path must survive).
+func TestBankRouterMatchesDivision(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		r := newBankRouter(n)
+		f := func(line uint64) bool {
+			bank, local := r.route(line)
+			return bank == int(line%uint64(n)) && local == line/uint64(n)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("bank count %d: %v", n, err)
+		}
+		// Edge values quick.Check may not draw.
+		for _, line := range []uint64{0, 1, uint64(n) - 1, uint64(n), uint64(n) + 1,
+			^uint64(0), ^uint64(0) - 1, 1 << 63, (1 << 63) - 1} {
+			bank, local := r.route(line)
+			if bank != int(line%uint64(n)) || local != line/uint64(n) {
+				t.Errorf("bank count %d line %#x: route = (%d, %d), want (%d, %d)",
+					n, line, bank, local, line%uint64(n), line/uint64(n))
+			}
+		}
+	}
+}
+
+func TestBankRouterPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("newBankRouter(0) did not panic")
+		}
+	}()
+	newBankRouter(0)
+}

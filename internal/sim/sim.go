@@ -53,6 +53,7 @@ type Simulator struct {
 
 	lineMask  uint64
 	lineShift uint // log2(LineBytes); line sizes are powers of two
+	router    bankRouter
 	resident  int
 }
 
@@ -69,6 +70,7 @@ func New(cfg config.GPUConfig, spec workloads.Spec, opts Options) *Simulator {
 		lineMask: uint64(cfg.LineBytes - 1),
 	}
 	s.lineShift = uint(bits.TrailingZeros(uint(cfg.LineBytes)))
+	s.router = newBankRouter(cfg.NumBanks)
 	if cfg.DetailedNoC {
 		s.reqBfly = interconnect.NewButterfly(cfg.NumSMs, cfg.NumBanks, cfg.NoCStageCycles)
 	}
@@ -117,15 +119,7 @@ func (s *Simulator) Access(now int64, smID int, addr uint64, write bool) int64 {
 		})
 	}
 	line := addr >> s.lineShift
-	var q uint64
-	if s.cfg.NumBanks == 6 {
-		// The Table 2 bank count, special-cased so the compiler can
-		// strength-reduce the division (exact for integers).
-		q = line / 6
-	} else {
-		q = line / uint64(s.cfg.NumBanks)
-	}
-	bank := int(line - q*uint64(s.cfg.NumBanks))
+	bank, q := s.router.route(line)
 	local := q << s.lineShift
 	var arrive int64
 	if s.reqBfly != nil {
@@ -197,6 +191,15 @@ func (s *Simulator) Run() Result {
 
 // peekOr returns the engine's earliest event time, or MaxInt64 when it
 // is empty — the drive loop's cheap "is a bank tick due" guard.
+// advanceOr fires everything due through now and returns the next
+// pending fire time, or MaxInt64 when the engine is drained.
+func advanceOr(e *engine.Engine, now int64) int64 {
+	if next, ok := e.Advance(now); ok {
+		return next
+	}
+	return math.MaxInt64
+}
+
 func peekOr(e *engine.Engine) int64 {
 	if at, ok := e.Peek(); ok {
 		return at
@@ -211,17 +214,17 @@ func peekOr(e *engine.Engine) int64 {
 // during the skipped cycles can be settled in one call when it wakes.
 //
 // Next-cycle wakes — the overwhelmingly common case while an SM is
-// issuing — bypass the event queue: dueAt stamps the cycle at which the
-// actor wants stepping, and the drive loop checks the stamp with one
-// compare per actor per visited cycle. Only genuine sleeps (wake more
-// than one cycle out) become engine events.
+// issuing — bypass the event queue: the drive loop keeps a bitmask of
+// actors due at the cycle being visited (engine wakes OR in their bit,
+// issuing actors set their bit for the next cycle), so a visited cycle
+// touches only its due actors instead of scanning all of them. Only
+// genuine sleeps (wake more than one cycle out) become engine events.
 type smActor struct {
 	sm      *gpu.SM
 	waker   *engine.Waker
-	dueAt   int64
 	lastSeq int64
 	// selfAccounted marks that the SM ran ahead on its own (RunAhead)
-	// through every visited cycle up to dueAt: its statistics for that
+	// through every visited cycle up to its wake: its statistics for that
 	// span are already exact, so the gap settlement must be skipped once.
 	selfAccounted bool
 }
@@ -258,13 +261,20 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 	nextTick := peekOr(timers)
 
 	actors := make([]*smActor, len(s.sms))
+	// Due bitmasks, one bit per actor: woken holds bits OR'd in by engine
+	// wakes firing at the visited cycle, dueNext the bits armed for the
+	// immediately following cycle. Their union drives the actor walk.
+	words := (len(s.sms) + 63) / 64
+	woken := make([]uint64, words)
+	dueNext := make([]uint64, words)
 	live := 0
 	for i, sm := range s.sms {
-		a := &smActor{sm: sm, lastSeq: -1, dueAt: start - 1}
-		a.waker = eng.NewWaker(int32(i), func(at int64) { a.dueAt = at })
+		a := &smActor{sm: sm, lastSeq: -1}
+		w, bit := i>>6, uint64(1)<<uint(i&63)
+		a.waker = eng.NewWaker(int32(i), func(int64) { woken[w] |= bit })
 		actors[i] = a
 		if !sm.Done() {
-			a.dueAt = start
+			dueNext[w] |= bit
 			live++
 		}
 	}
@@ -272,6 +282,12 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 	now := start
 	boundary = start
 	warming := warmupBudget > 0
+	// nextEvent is a lower bound on the engine's earliest pending wake
+	// (exact after every RunUntil, lowered on every schedule): visited
+	// cycles below it skip the RunUntil/Peek pair entirely. A cancel can
+	// leave the bound stale-low, which costs one no-op RunUntil, never a
+	// missed wake.
+	nextEvent := int64(math.MaxInt64)
 	var seq int64 // index of the visited cycle being run
 	var issuedTotal uint64
 	// runLimit bounds SM run-ahead: never past MaxCycles (the reference
@@ -308,64 +324,74 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			break
 		}
 		if now >= nextTick {
-			timers.RunUntil(now)
-			nextTick = peekOr(timers)
+			nextTick = advanceOr(timers, now)
 		}
-		eng.RunUntil(now) // due wakes stamp their actor's dueAt
-		issued := false
-		nextFast := false
-		for _, a := range actors {
-			if a.dueAt != now {
-				continue
-			}
-			if a.selfAccounted {
-				// The SM ran ahead through every visited cycle before
-				// now on its own; its stall accounting is settled.
-				a.selfAccounted = false
-				a.lastSeq = seq
-			} else {
-				if gap := seq - a.lastSeq - 1; gap > 0 {
-					a.sm.AccrueStoreStalls(gap)
+		if now >= nextEvent {
+			// Due wakes OR their actor's bit into woken.
+			nextEvent = advanceOr(eng, now)
+		}
+		anyNext := false
+		for wi := 0; wi < words; wi++ {
+			m := dueNext[wi] | woken[wi]
+			dueNext[wi], woken[wi] = 0, 0
+			for ; m != 0; m &= m - 1 {
+				i := wi<<6 + bits.TrailingZeros64(m)
+				a := actors[i]
+				if a.selfAccounted {
+					// The SM ran ahead through every visited cycle before
+					// now on its own; its stall accounting is settled.
+					a.selfAccounted = false
+					a.lastSeq = seq
+				} else {
+					if gap := seq - a.lastSeq - 1; gap > 0 {
+						a.sm.AccrueStoreStalls(gap)
+					}
+					a.lastSeq = seq
 				}
-				a.lastSeq = seq
-			}
-			if a.sm.Step(now) {
-				// Issued: the loop will visit now+1 and the per-cycle
-				// reference steps every live SM there, so re-arm for
-				// now+1 directly — the NextWake scan is only needed (and
-				// only run by the reference) when an issue attempt
-				// fails. An SM cannot retire on a successful issue.
-				issuedTotal++
-				if !warming && runLimit > now+1 {
-					// Let the SM commit pure-ALU cycles by itself; it
-					// rejoins the shared timeline at the first cycle
-					// that needs ordering against other actors.
-					if stop := a.sm.RunAhead(now+1, runLimit); stop > now+1 {
-						a.selfAccounted = true
-						a.waker.WakeAt(stop)
-						if stop > visitedThrough {
-							visitedThrough = stop
+				if a.sm.Step(now) {
+					// Issued: the loop will visit now+1 and the per-cycle
+					// reference steps every live SM there, so re-arm for
+					// now+1 directly — the NextWake scan is only needed (and
+					// only run by the reference) when an issue attempt
+					// fails. An SM cannot retire on a successful issue.
+					issuedTotal++
+					if !warming && runLimit > now+1 {
+						// Let the SM commit pure-ALU cycles by itself; it
+						// rejoins the shared timeline at the first cycle
+						// that needs ordering against other actors.
+						if stop := a.sm.RunAhead(now+1, runLimit); stop > now+1 {
+							a.selfAccounted = true
+							a.waker.WakeAt(stop)
+							if stop < nextEvent {
+								nextEvent = stop
+							}
+							if stop > visitedThrough {
+								visitedThrough = stop
+							}
+							continue
 						}
-						continue
+					}
+					dueNext[wi] |= 1 << uint(i&63)
+					anyNext = true
+					continue
+				}
+				if a.sm.Done() {
+					live--
+					continue
+				}
+				if w := a.sm.NextWake(now); w == now+1 {
+					dueNext[wi] |= 1 << uint(i&63)
+					anyNext = true
+				} else {
+					a.waker.WakeAt(w)
+					if w < nextEvent {
+						nextEvent = w
 					}
 				}
-				issued = true
-				a.dueAt = now + 1
-				continue
-			}
-			if a.sm.Done() {
-				live--
-				continue
-			}
-			if w := a.sm.NextWake(now); w == now+1 {
-				a.dueAt = now + 1
-				nextFast = true
-			} else {
-				a.waker.WakeAt(w)
 			}
 		}
 		seq++
-		if issued || nextFast {
+		if anyNext {
 			// An issuing cycle is always followed by an issue attempt at
 			// the very next cycle; a next-cycle wake visits it too.
 			now++
@@ -375,6 +401,7 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 		if !ok {
 			break
 		}
+		nextEvent = next
 		if visitedThrough > now {
 			// Cycles skipped under the run-ahead mark were visited by
 			// the reference (the running-ahead SM issued at each one);
