@@ -10,7 +10,7 @@
 //	sttbench -before old.json -o out.json # diff against a prior run
 //	sttbench -iters 10 -count 3           # best-of-3 at 10 iterations each
 //	sttbench -cpuprofile cpu.pprof        # profile the timed runs
-//	sttbench -check BENCH.json -maxregress 1.2  # CI gate, no file written
+//	sttbench -check BENCH.json -maxregress 1.2  # CI gate (add -o out.json to keep the measurements)
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 
 	"sttllc/internal/config"
 	"sttllc/internal/experiments"
+	"sttllc/internal/metrics"
 	"sttllc/internal/sim"
 	"sttllc/internal/sttram"
 	"sttllc/internal/workloads"
@@ -66,6 +67,16 @@ func suite() []struct {
 			spec = spec.Scale(0.05)
 			spec.WarpsPerSM = 6
 			sim.RunOne(config.C1(), spec, sim.Options{})
+		}},
+		// Same run with a live metrics registry: the delta between this
+		// row and SimulatorThroughput is the observability layer's cost,
+		// which CI gates alongside everything else.
+		{"SimulatorThroughputMetricsOn", func() {
+			spec, _ := workloads.ByName("bfs")
+			spec = spec.Scale(0.05)
+			spec.WarpsPerSM = 6
+			cfg := config.C1()
+			sim.RunOne(cfg, spec, sim.Options{Metrics: metrics.NewRegistry(true)})
 		}},
 		{"WearLeveling", func() { experiments.WearLeveling(benchParams("bfs")) }},
 	}
@@ -165,10 +176,16 @@ func main() {
 		note       = flag.String("note", "", "free-form provenance note stored in the report")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
-		check      = flag.String("check", "", "regression gate: compare against this baseline and exit non-zero on regression; writes no output file")
+		check      = flag.String("check", "", "regression gate: compare against this baseline and exit non-zero on regression; writes -o only when -o is given explicitly")
 		maxregress = flag.Float64("maxregress", 1.20, "with -check, the max allowed suite slowdown (after/before ratio)")
 	)
 	flag.Parse()
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			outSet = true
+		}
+	})
 
 	baseline := *before
 	if *check != "" {
@@ -229,10 +246,27 @@ func main() {
 		f.Close()
 	}
 
+	writeReport := func() {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *out)
+	}
+
 	if *check != "" {
 		// CI gate: the suite may not slow down past the allowed ratio
 		// relative to the committed baseline. Only benchmarks present in
 		// the baseline participate (new benchmarks have no reference).
+		// Record the measurements first (when -o was given) so the
+		// artifact survives a failed gate.
+		if outSet {
+			writeReport()
+		}
 		if rep.SuiteBeforeNs == 0 {
 			fatal(fmt.Errorf("-check baseline %s shares no benchmarks with this suite", *check))
 		}
@@ -250,13 +284,5 @@ func main() {
 		return
 	}
 
-	raw, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	raw = append(raw, '\n')
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Println("wrote", *out)
+	writeReport()
 }

@@ -9,7 +9,11 @@
 //	sttexp -exp fig3,fig6 -bench bfs,stencil
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig8 ablation area
-// Extensions: power retention lrsize reliability wear
+// Extensions: power retention lrsize reliability wear runs
+//
+// "runs" emits per-run sttllc-stats/v1 dumps (see internal/sim's
+// StatsDump) for every configuration x benchmark pair; combine with
+// -json for a machine-readable sweep.
 package main
 
 import (
@@ -45,7 +49,7 @@ func fig8Chart(title string, res experiments.Fig8Result, pick func(experiments.F
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments (table1,table2,fig3..fig8,ablation,area,power,retention,lrsize,reliability,wear,all)")
+		exp     = flag.String("exp", "all", "comma-separated experiments (table1,table2,fig3..fig8,ablation,area,power,retention,lrsize,reliability,wear,runs,all)")
 		scale   = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
 		warps   = flag.Int("warps", 0, "override warp jobs per SM (0 = benchmark default)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
@@ -184,6 +188,15 @@ func main() {
 		rows := experiments.WearLeveling(p)
 		data("wear", rows)
 		text(experiments.FormatWearLeveling(rows))
+	})
+	run("runs", func() {
+		dumps := experiments.StatsDumps(p, nil)
+		data("runs", dumps)
+		for _, d := range dumps {
+			text(fmt.Sprintf("%-14s %-14s cycles=%-10d IPC=%-8.4f L2hit=%-6.3f LRhit=%-6.3f migr=%d refresh=%d overflow=%d\n",
+				d.Config, d.Benchmark, d.Cycles, d.IPC, d.L2.HitRate, d.L2.LRHitRate,
+				d.L2.MigrationsToLR, d.L2.Refreshes, d.L2.SwapBufferOverflows))
+		}
 	})
 
 	if !all {

@@ -15,20 +15,38 @@ import (
 	"strings"
 
 	"sttllc/internal/experiments"
+	"sttllc/internal/sim"
 )
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
-		warps   = flag.Int("warps", 0, "override warp jobs per SM (0 = benchmark default)")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
-		out     = flag.String("o", "", "output file (default stdout)")
+		scale     = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
+		warps     = flag.Int("warps", 0, "override warp jobs per SM (0 = benchmark default)")
+		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		out       = flag.String("o", "", "output file (default stdout)")
+		statsJSON = flag.String("stats-json", "", "also write per-run sttllc-stats/v1 dumps (JSON array) to this file")
 	)
 	flag.Parse()
 
 	p := experiments.Params{Scale: *scale, WarpsPerSM: *warps}
 	if *benches != "" {
 		p.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *statsJSON != "" {
+		f, err := os.Create(*statsJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sttreport: %v\n", err)
+			os.Exit(1)
+		}
+		err = sim.WriteStatsDumps(f, experiments.StatsDumps(p, nil))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sttreport: stats dump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sttreport: wrote stats dumps to %s\n", *statsJSON)
 	}
 	report := experiments.MarkdownReport(p)
 

@@ -6,6 +6,8 @@
 //
 //	sttsim -config C1 -bench bfs [-scale 0.5] [-warps 32] [-maxcycles N]
 //	sttsim -config C1 -app srad-pipeline    # multi-kernel application
+//	sttsim -config C2 -bench bfs -trace out.json     # Perfetto timeline
+//	sttsim -config C2 -bench bfs -stats-json -       # machine-readable stats
 //	sttsim -list
 package main
 
@@ -16,6 +18,7 @@ import (
 
 	"sttllc/internal/config"
 	"sttllc/internal/experiments"
+	"sttllc/internal/metrics"
 	"sttllc/internal/sim"
 	"sttllc/internal/workloads"
 )
@@ -30,6 +33,8 @@ func main() {
 		maxCycles = flag.Int64("maxcycles", 0, "abort after this many cycles (0 = none)")
 		warmup    = flag.Uint64("warmup", 0, "instructions to run before statistics start (0 = none)")
 		list      = flag.Bool("list", false, "list configurations and benchmarks")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace/Perfetto timeline of the run to this JSON file (load at ui.perfetto.dev)")
+		statsOut  = flag.String("stats-json", "", "write the sttllc-stats/v1 JSON dump to this file ('-' = stdout) instead of the text report")
 	)
 	flag.Parse()
 
@@ -53,6 +58,13 @@ func main() {
 	if !ok {
 		fail("unknown configuration %q (try -list)", *cfgName)
 	}
+	opts := sim.Options{MaxCycles: *maxCycles}
+	if *traceOut != "" {
+		opts.Tracer = metrics.NewTracer(cfg.ClockHz)
+	}
+	if *statsOut != "" {
+		opts.Metrics = metrics.NewRegistry(true)
+	}
 	if *appName != "" {
 		app, ok := workloads.AppByName(*appName)
 		if !ok {
@@ -66,7 +78,12 @@ func main() {
 				app.Kernels[i].WarpsPerSM = *warps
 			}
 		}
-		ar := sim.RunApp(cfg, app, sim.Options{MaxCycles: *maxCycles})
+		ar := sim.RunApp(cfg, app, opts)
+		writeTrace(*traceOut, opts.Tracer)
+		if *statsOut != "" {
+			writeStats(*statsOut, sim.DumpStats(ar.Final, opts.Metrics))
+			return
+		}
 		fmt.Printf("application=%s config=%s\n", ar.App, ar.Config)
 		for _, k := range ar.Kernels {
 			fmt.Printf("  kernel %-14s cycles=%d IPC=%.4f L2hit=%.3f\n",
@@ -86,8 +103,47 @@ func main() {
 		spec.WarpsPerSM = *warps
 	}
 
-	r := sim.RunOne(cfg, spec, sim.Options{MaxCycles: *maxCycles, WarmupInstructions: *warmup})
+	opts.WarmupInstructions = *warmup
+	r := sim.RunOne(cfg, spec, opts)
+	writeTrace(*traceOut, opts.Tracer)
+	if *statsOut != "" {
+		writeStats(*statsOut, sim.DumpStats(r, opts.Metrics))
+		return
+	}
 	fmt.Print(experiments.RunResultString(r))
+}
+
+// writeTrace serializes the run's timeline, if one was recorded.
+func writeTrace(path string, tr *metrics.Tracer) {
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		fail("writing trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "sttsim: wrote %d trace events to %s (load at https://ui.perfetto.dev)\n",
+		tr.Len(), path)
+}
+
+// writeStats serializes the stats dump to path, or stdout for "-".
+func writeStats(path string, d sim.StatsDump) {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := d.WriteJSON(w); err != nil {
+		fail("writing stats: %v", err)
+	}
 }
 
 func fail(format string, args ...any) {

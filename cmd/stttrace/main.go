@@ -12,6 +12,7 @@
 //	stttrace -bench bfs [-warps 64] [-scale 1.0] [-dump 20]
 //	stttrace -bench bfs -record trace.bin [-config C1]
 //	stttrace -replay trace.bin -config C2
+//	stttrace -replay trace.bin -config C2 -stats-json -
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		replay    = flag.String("replay", "", "replay a recorded trace into banks of -config")
 		cfgName   = flag.String("config", "C1", "configuration for -record/-replay")
 		suite     = flag.Bool("suite", false, "print the parameter table of the whole benchmark suite")
+		statsOut  = flag.String("stats-json", "", "with -replay: write the sttllc-stats/v1 dump to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -47,7 +49,7 @@ func main() {
 	}
 
 	if *replay != "" {
-		replayTrace(*replay, *cfgName)
+		replayTrace(*replay, *cfgName, *statsOut)
 		return
 	}
 
@@ -177,7 +179,7 @@ func recordTrace(spec workloads.Spec, cfgName, path string) {
 }
 
 // replayTrace drives a recorded trace into the named configuration.
-func replayTrace(path, cfgName string) {
+func replayTrace(path, cfgName, statsOut string) {
 	cfg, ok := config.ByName(cfgName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "stttrace: unknown configuration %q\n", cfgName)
@@ -195,6 +197,23 @@ func replayTrace(path, cfgName string) {
 		os.Exit(1)
 	}
 	r := sim.Replay(cfg, recs)
+	if statsOut != "" {
+		w := os.Stdout
+		if statsOut != "-" {
+			out, err := os.Create(statsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stttrace: %v\n", err)
+				os.Exit(1)
+			}
+			defer out.Close()
+			w = out
+		}
+		if err := r.Dump().WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "stttrace: stats dump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("replayed %d accesses into %s\n", len(recs), cfg.Name)
 	fmt.Print(experiments.RunResultString(r))
 }

@@ -223,7 +223,7 @@ func New(capacityBytes, ways, lineBytes int) *Cache {
 		setShift:      uint(bits.TrailingZeros(uint(lineBytes))),
 		tagShift:      uint(bits.TrailingZeros(uint(sets))),
 		setMask:       uint64(sets - 1),
-		tags:          hot[:sets*ways:sets*ways],
+		tags:          hot[: sets*ways : sets*ways],
 		valid:         hot[sets*ways : sets*ways+sets*mw : sets*ways+sets*mw],
 		dirty:         hot[sets*ways+sets*mw : sets*ways+2*sets*mw : sets*ways+2*sets*mw],
 		lru:           hot[sets*ways+2*sets*mw:],

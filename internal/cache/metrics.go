@@ -1,0 +1,21 @@
+package cache
+
+import "sttllc/internal/metrics"
+
+// RegisterMetrics adopts the array's stats counters into a metrics
+// registry under the given prefix (e.g. "l2.bank0.lr"). The Stats
+// fields stay the hot-path storage — the registry only reads them at
+// snapshot time — and they remain valid across Reset, which assigns the
+// struct in place. The cache must outlive the registry's snapshots.
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	s := &c.Stats
+	r.RegisterExternal(prefix+".read_hits", &s.ReadHits)
+	r.RegisterExternal(prefix+".read_misses", &s.ReadMisses)
+	r.RegisterExternal(prefix+".write_hits", &s.WriteHits)
+	r.RegisterExternal(prefix+".write_misses", &s.WriteMisses)
+	r.RegisterExternal(prefix+".fills", &s.Fills)
+	r.RegisterExternal(prefix+".evictions", &s.Evictions)
+	r.RegisterExternal(prefix+".dirty_evictions", &s.DirtyEvict)
+	r.RegisterExternal(prefix+".invalidates", &s.Invalidates)
+	r.RegisterFunc(prefix+".valid_lines", func() uint64 { return uint64(c.ValidLines()) })
+}

@@ -37,7 +37,7 @@ func TestWheelRewriteLeavesOnlyStaleMark(t *testing.T) {
 	c.EnableExpiryWheel(10, 25)
 	c.Fill(0x000, false, 7) // due at 40
 	set, way, _ := c.Probe(0x000)
-	c.AccessAt(set, way, true, 12) // rewrite: now due at 40 too (12+25=37)
+	c.AccessAt(set, way, true, 12)    // rewrite: now due at 40 too (12+25=37)
 	c.SetRetentionStamp(set, way, 18) // refresh: due at 50 (18+25=43)
 	// The stale marks at 40 still name set 0, but the line is not due
 	// there by its authoritative stamp — the caller's age check skips it.

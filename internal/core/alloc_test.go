@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"sttllc/internal/metrics"
 	"sttllc/internal/sttram"
 )
 
@@ -46,6 +47,43 @@ func TestTwoPartSteadyStateAllocFree(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("two-part steady-state Access/Tick allocates %v per run, want 0", avg)
+	}
+}
+
+// Registering bank metrics — against a disabled registry, the default
+// for every simulation that doesn't ask for stats — must leave the
+// steady-state budget at zero: adoption only records pointers, and a
+// disabled registry records nothing at all.
+func TestTwoPartMetricsKeepSteadyStateAllocFree(t *testing.T) {
+	b := newTestBank()
+	b.RegisterMetrics(metrics.NewRegistry(false), "l2.bank0")
+	addrs := []uint64{0x000, 0x040, 0x080}
+	now := int64(0)
+	for _, a := range addrs {
+		b.Access(now, a, true)
+		now += 10
+	}
+	b.Access(now, 0x10000, false)
+	now += b.lrRetCy
+	b.Tick(now)
+	now += b.hrRetCy
+	b.Tick(now)
+	for _, a := range addrs {
+		b.Access(now, a, true)
+		now += 10
+	}
+
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		now += b.lrTickCy
+		a := addrs[i%len(addrs)]
+		i++
+		b.Tick(now)
+		b.Access(now+1, a, true)
+		b.Access(now+2, a, false)
+	})
+	if avg != 0 {
+		t.Errorf("instrumented two-part steady state allocates %v per run, want 0", avg)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sttllc/internal/dram"
+	"sttllc/internal/metrics"
 	"sttllc/internal/stats"
 	"sttllc/internal/sttram"
 )
@@ -73,6 +74,12 @@ type Bank interface {
 	// and, for the two-part bank, counters and buffers).
 	LeakageWatts() float64
 	Reset()
+	// RegisterMetrics adopts the bank's statistics into a metrics
+	// registry under the given prefix (e.g. "l2.bank0"). The registry
+	// reads the adopted fields only at snapshot time, so registration
+	// adds nothing to the access path; on a disabled registry it is a
+	// no-op.
+	RegisterMetrics(r *metrics.Registry, prefix string)
 }
 
 // BankStats counts the events the experiments need.

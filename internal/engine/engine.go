@@ -72,9 +72,10 @@ const (
 // Engine is a monotonic event scheduler. The zero value is not ready;
 // use New.
 type Engine struct {
-	now  int64
-	seq  uint64
-	live int
+	now   int64
+	seq   uint64
+	live  int
+	fired uint64 // events dispatched over the engine's lifetime
 
 	events []event // arena; handles index into it
 	free   []int32 // recycled handles (the hot loop re-arms millions)
@@ -82,8 +83,8 @@ type Engine struct {
 	far       []farEntry // binary min-heap on (at, prio, seq)
 	farDead   int        // canceled events still parked in the heap
 	wheel     [wheelSize][]int32
-	wheelLive [wheelSize]int32 // live events per bucket
-	near      int              // live events currently in the wheel
+	wheelLive [wheelSize]int32   // live events per bucket
+	near      int                // live events currently in the wheel
 	mask      [wheelWords]uint64 // occupancy bit per wheel bucket (cleared lazily)
 
 	batch []int32 // scratch for one same-cycle firing batch
@@ -106,6 +107,15 @@ func (e *Engine) Now() int64 { return e.now }
 
 // Len returns the number of scheduled, not-yet-fired events.
 func (e *Engine) Len() int { return e.live }
+
+// ScheduledTotal returns the number of events ever scheduled on this
+// engine (the registration sequence doubles as the count, so the
+// observability layer reads it for free).
+func (e *Engine) ScheduledTotal() uint64 { return e.seq }
+
+// FiredTotal returns the number of events dispatched over the engine's
+// lifetime.
+func (e *Engine) FiredTotal() uint64 { return e.fired }
 
 // Schedule registers fn to fire at cycle at (priority 0). Scheduling
 // into the past panics: the engine clock is monotonic.
@@ -321,6 +331,7 @@ func (e *Engine) runBatch(at int64) int {
 			ev := &e.events[idx]
 			ev.dead = true
 			e.live--
+			e.fired++
 			actor, fn := ev.actor, ev.fn
 			e.recycle(idx)
 			if actor >= 0 {
@@ -360,6 +371,7 @@ func (e *Engine) runBatch(at int64) int {
 		}
 	}
 	e.batch = batch[:0] // keep capacity for the next batch
+	e.fired += uint64(len(batch))
 	for _, idx := range batch {
 		ev := &e.events[idx]
 		ev.dead = true

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sttllc/internal/config"
+	"sttllc/internal/metrics"
+	"sttllc/internal/sim"
+	"sttllc/internal/workloads"
+)
+
+// StatsDumps runs every benchmark on every named configuration with a
+// full metrics registry attached and returns the machine-readable
+// dumps, ordered configuration-major then suite order — the "runs"
+// experiment behind `sttexp -exp runs` and `sttreport -stats-json`.
+// Each run owns a private registry, so the sweep parallelizes like
+// every other harness.
+func StatsDumps(p Params, configs []string) []sim.StatsDump {
+	if len(configs) == 0 {
+		configs = []string{"baseline-SRAM", "baseline-STT", "C1", "C2", "C3"}
+	}
+	cfgs := make([]config.GPUConfig, len(configs))
+	for i, name := range configs {
+		cfg, ok := config.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown configuration %q", name))
+		}
+		cfgs[i] = cfg
+	}
+	nBench := len(p.specs())
+	dumps := make([]sim.StatsDump, len(cfgs)*nBench)
+	for ci, cfg := range cfgs {
+		cfg := cfg
+		forEachSpec(p, func(i int, spec workloads.Spec) {
+			reg := metrics.NewRegistry(true)
+			opts := p.opts()
+			opts.Metrics = reg
+			res := sim.New(cfg, spec, opts).Run()
+			dumps[ci*nBench+i] = sim.DumpStats(res, reg)
+		})
+	}
+	return dumps
+}

@@ -1,0 +1,333 @@
+// Package metrics is the simulator's counter fabric: a per-simulation
+// registry of typed counters, gauges, and fixed-bucket histograms whose
+// storage is allocated once, at simulation construction, in stable slabs.
+//
+// The design goal is that observability never perturbs what it observes:
+//
+//   - The enabled hot path is a single memory increment. A Counter is a
+//     pointer into a registry-owned slab (slabs are fixed-size chunks, so
+//     handles stay valid as the registry grows); Inc compiles to one
+//     add-to-memory instruction with no branch, no bounds check, and no
+//     allocation.
+//
+//   - The disabled path is the same instruction aimed at a sink slot.
+//     A disabled registry hands every counter, gauge, and histogram a
+//     pointer into its private sink, so instrumented code runs the
+//     identical straight-line sequence — zero allocations, zero branches
+//     — and the writes land in a slot nobody reads. No `if enabled`
+//     checks leak into simulation code.
+//
+//   - Adoption is free. Actors that already keep plain uint64 stat
+//     fields (bank, cache, DRAM stats structs) register pointers to
+//     them with RegisterExternal, so their hot paths keep the increments
+//     they already had and the registry only touches the fields at
+//     snapshot time. RegisterFunc registers a snapshot-time callback for
+//     values that are computed (aggregates over actors, live gauges).
+//
+// A Registry and its handles are owned by one simulation goroutine, like
+// the engine they instrument: plain Inc/Set/Observe are single-writer.
+// Experiment harnesses that fan runs out across workers give each run
+// its own registry (sim.New creates a private disabled registry when the
+// caller supplies none, so parallel runs never share a sink). For the
+// rare genuinely shared counter, AddAtomic provides a race-free
+// increment; snapshots taken after a goroutine join (the harnesses'
+// pattern) need no atomics at all.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// chunkSlots is the slab chunk size. Chunks are never reallocated once
+// handed out, which is what keeps Counter/Gauge pointers stable.
+const chunkSlots = 256
+
+// Registry allocates and enumerates the metrics of one simulation.
+// Construct with NewRegistry; the zero value is not usable.
+type Registry struct {
+	enabled bool
+	chunks  [][]uint64
+	used    int // slots used in the newest chunk
+	sink    []uint64
+
+	names   map[string]struct{}
+	entries []entry
+	hists   []*Histogram
+}
+
+// entry is one registered scalar: a slab or external counter (p) or a
+// snapshot-time callback (f). Exactly one of p, f is set.
+type entry struct {
+	name string
+	p    *uint64
+	f    func() uint64
+}
+
+// Sample is one named value in a registry snapshot.
+type Sample struct {
+	Name  string
+	Value uint64
+}
+
+// NewRegistry returns a registry. A disabled registry accepts every
+// registration and hands out working handles, but records no names and
+// directs all writes into a private sink: instrumented code runs
+// unchanged and Snapshot returns nothing.
+func NewRegistry(enabled bool) *Registry {
+	r := &Registry{enabled: enabled}
+	if !enabled {
+		r.sink = make([]uint64, 1)
+	} else {
+		r.names = make(map[string]struct{})
+	}
+	return r
+}
+
+// Enabled reports whether this registry records anything.
+func (r *Registry) Enabled() bool { return r.enabled }
+
+// slots returns n stable slab slots (one chunk, contiguous). Oversized
+// requests get a dedicated chunk.
+func (r *Registry) slots(n int) []uint64 {
+	if len(r.chunks) == 0 || r.used+n > chunkSlots {
+		size := chunkSlots
+		if n > size {
+			size = n
+		}
+		r.chunks = append(r.chunks, make([]uint64, size))
+		r.used = 0
+	}
+	c := r.chunks[len(r.chunks)-1]
+	s := c[r.used : r.used+n : r.used+n]
+	r.used += n
+	return s
+}
+
+// register claims a name, panicking on duplicates: two actors colliding
+// on a metric name is a wiring bug worth failing loudly on.
+func (r *Registry) register(e entry) {
+	if _, dup := r.names[e.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", e.name))
+	}
+	r.names[e.name] = struct{}{}
+	r.entries = append(r.entries, e)
+}
+
+// Counter is a monotonically increasing event count. Obtain one from a
+// Registry; the zero value is not usable.
+type Counter struct{ p *uint64 }
+
+// Inc adds one. Single-writer; see the package comment.
+func (c Counter) Inc() { *c.p++ }
+
+// Add adds n. Single-writer.
+func (c Counter) Add(n uint64) { *c.p += n }
+
+// AddAtomic adds n race-free, for counters genuinely shared across
+// goroutines.
+func (c Counter) AddAtomic(n uint64) { atomic.AddUint64(c.p, n) }
+
+// Value returns the current count (plain read; callers that race with
+// AddAtomic writers should have joined first).
+func (c Counter) Value() uint64 { return *c.p }
+
+// NewCounter allocates a slab counter. On a disabled registry the handle
+// writes into the sink.
+func (r *Registry) NewCounter(name string) Counter {
+	if !r.enabled {
+		return Counter{p: &r.sink[0]}
+	}
+	p := &r.slots(1)[0]
+	r.register(entry{name: name, p: p})
+	return Counter{p: p}
+}
+
+// Gauge is a last-value-wins instantaneous measurement.
+type Gauge struct{ p *uint64 }
+
+// Set stores v. Single-writer.
+func (g Gauge) Set(v uint64) { *g.p = v }
+
+// Value returns the current value.
+func (g Gauge) Value() uint64 { return *g.p }
+
+// NewGauge allocates a slab gauge.
+func (r *Registry) NewGauge(name string) Gauge {
+	if !r.enabled {
+		return Gauge{p: &r.sink[0]}
+	}
+	p := &r.slots(1)[0]
+	r.register(entry{name: name, p: p})
+	return Gauge{p: p}
+}
+
+// RegisterExternal adopts a counter that lives outside the registry —
+// typically a field of an actor's existing stats struct, which the
+// actor's hot path already increments. The pointed-to location must
+// outlive the registry and must not move (fields of heap-allocated
+// actors qualify; elements of append-grown slices do not).
+func (r *Registry) RegisterExternal(name string, p *uint64) {
+	if !r.enabled {
+		return
+	}
+	r.register(entry{name: name, p: p})
+}
+
+// RegisterFunc registers a snapshot-time callback, for values that are
+// aggregates or otherwise computed. f runs on every Snapshot/Map call
+// and must be cheap and side-effect free.
+func (r *Registry) RegisterFunc(name string, f func() uint64) {
+	if !r.enabled {
+		return
+	}
+	r.register(entry{name: name, f: f})
+}
+
+// Histogram is a fixed-bucket histogram over int64 samples. Bucket i
+// counts samples v with v <= edge[i] (first matching bucket wins);
+// samples above the last edge land in the overflow bucket. Obtain from a
+// Registry; the zero value is not usable.
+type Histogram struct {
+	name   string
+	edges  []int64  // nil on a disabled registry
+	counts []uint64 // len(edges); nil on a disabled registry
+	over   *uint64
+}
+
+// NewHistogram allocates a slab histogram with the given strictly
+// ascending bucket edges. On a disabled registry the returned histogram
+// has no buckets and Observe degenerates to one sink increment — the
+// bucket-search loop body never runs.
+func (r *Registry) NewHistogram(name string, edges ...int64) *Histogram {
+	if len(edges) == 0 {
+		panic("metrics: histogram needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("metrics: histogram edges must be strictly ascending")
+		}
+	}
+	if !r.enabled {
+		return &Histogram{over: &r.sink[0]}
+	}
+	s := r.slots(len(edges) + 1)
+	h := &Histogram{
+		name:   name,
+		edges:  append([]int64(nil), edges...),
+		counts: s[:len(edges)],
+		over:   &s[len(edges)],
+	}
+	if _, dup := r.names[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+	r.names[name] = struct{}{}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Observe records one sample: a linear scan over the (few) bucket edges
+// and a single increment. No branch distinguishes enabled from disabled
+// — a disabled histogram simply has zero edges.
+func (h *Histogram) Observe(v int64) {
+	for i, e := range h.edges {
+		if v <= e {
+			h.counts[i]++
+			return
+		}
+	}
+	*h.over++
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Edges returns a copy of the bucket edges.
+func (h *Histogram) Edges() []int64 { return append([]int64(nil), h.edges...) }
+
+// Count returns bucket i's count.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Overflow returns the count of samples above the last edge.
+func (h *Histogram) Overflow() uint64 { return *h.over }
+
+// Total returns the number of samples observed.
+func (h *Histogram) Total() uint64 {
+	t := *h.over
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Name     string
+	Edges    []int64
+	Counts   []uint64
+	Overflow uint64
+}
+
+// Snapshot returns every registered scalar, in registration order.
+// Callback entries are evaluated now.
+func (r *Registry) Snapshot() []Sample {
+	out := make([]Sample, len(r.entries))
+	for i, e := range r.entries {
+		s := Sample{Name: e.name}
+		if e.p != nil {
+			s.Value = *e.p
+		} else {
+			s.Value = e.f()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Map returns the snapshot as a name-keyed map (convenient for JSON
+// export, where Go marshals map keys sorted and therefore
+// deterministically).
+func (r *Registry) Map() map[string]uint64 {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(r.entries))
+	for _, e := range r.entries {
+		if e.p != nil {
+			out[e.name] = *e.p
+		} else {
+			out[e.name] = e.f()
+		}
+	}
+	return out
+}
+
+// Value returns the named scalar's current value.
+func (r *Registry) Value(name string) (uint64, bool) {
+	for _, e := range r.entries {
+		if e.name == name {
+			if e.p != nil {
+				return *e.p, true
+			}
+			return e.f(), true
+		}
+	}
+	return 0, false
+}
+
+// Histograms returns snapshots of every registered histogram, sorted by
+// name for deterministic export.
+func (r *Registry) Histograms() []HistogramSnapshot {
+	out := make([]HistogramSnapshot, 0, len(r.hists))
+	for _, h := range r.hists {
+		out = append(out, HistogramSnapshot{
+			Name:     h.name,
+			Edges:    append([]int64(nil), h.edges...),
+			Counts:   append([]uint64(nil), h.counts...),
+			Overflow: *h.over,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry(true)
+	c := r.NewCounter("c")
+	g := r.NewGauge("g")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Set(9)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if got := g.Value(); got != 9 {
+		t.Errorf("gauge = %d, want 9", got)
+	}
+	if v, ok := r.Value("c"); !ok || v != 5 {
+		t.Errorf("registry value c = %d,%v, want 5,true", v, ok)
+	}
+}
+
+func TestExternalAndFuncEntries(t *testing.T) {
+	r := NewRegistry(true)
+	var ext uint64
+	r.RegisterExternal("ext", &ext)
+	r.RegisterFunc("twice_ext", func() uint64 { return 2 * ext })
+	ext = 21
+	m := r.Map()
+	if m["ext"] != 21 || m["twice_ext"] != 42 {
+		t.Errorf("map = %v, want ext=21 twice_ext=42", m)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "ext" || snap[1].Name != "twice_ext" {
+		t.Errorf("snapshot order = %v, want registration order", snap)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry(true)
+	r.NewCounter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup")
+}
+
+// Counter handles must stay valid as the registry grows past many chunk
+// boundaries: slab chunks are never moved.
+func TestHandleStabilityAcrossChunks(t *testing.T) {
+	r := NewRegistry(true)
+	first := r.NewCounter("first")
+	first.Inc()
+	for i := 0; i < 4*chunkSlots; i++ {
+		r.NewCounter(string(rune('a'+i%26)) + "-" + string(rune('0'+i/26%10)) + "-" + string(rune('0'+i/260)))
+	}
+	first.Add(2)
+	if got := first.Value(); got != 3 {
+		t.Errorf("counter after chunk growth = %d, want 3", got)
+	}
+	if v, _ := r.Value("first"); v != 3 {
+		t.Errorf("registry read after chunk growth = %d, want 3", v)
+	}
+}
+
+// Bucket semantics: bucket i counts v <= edges[i], first match wins;
+// above the last edge is overflow. Exact-edge samples belong to the
+// bucket they bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry(true)
+	h := r.NewHistogram("lat", 10, 20, 40)
+	cases := []struct {
+		v      int64
+		bucket int // -1 = overflow
+	}{
+		{-5, 0}, {0, 0}, {9, 0}, {10, 0},
+		{11, 1}, {20, 1},
+		{21, 2}, {40, 2},
+		{41, -1}, {1 << 40, -1},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	want := map[int]uint64{0: 4, 1: 2, 2: 2}
+	for i := 0; i < 3; i++ {
+		if h.Count(i) != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, h.Count(i), want[i])
+		}
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Total() != uint64(len(cases)) {
+		t.Errorf("total = %d, want %d", h.Total(), len(cases))
+	}
+}
+
+func TestHistogramRejectsBadEdges(t *testing.T) {
+	r := NewRegistry(true)
+	for _, edges := range [][]int64{{}, {5, 5}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("edges %v did not panic", edges)
+				}
+			}()
+			r.NewHistogram("bad", edges...)
+		}()
+	}
+}
+
+// Concurrent increments: AddAtomic on one shared counter must be exact,
+// and plain Inc on per-goroutine counters of one shared registry must be
+// race-free (disjoint slab slots). Run under -race.
+func TestConcurrentIncrements(t *testing.T) {
+	const goroutines = 8
+	const perG = 10000
+
+	r := NewRegistry(true)
+	shared := r.NewCounter("shared")
+	own := make([]Counter, goroutines)
+	for i := range own {
+		own[i] = r.NewCounter("own" + string(rune('0'+i)))
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < perG; n++ {
+				shared.AddAtomic(1)
+				own[i].Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := shared.Value(); got != goroutines*perG {
+		t.Errorf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	for i := range own {
+		if got := own[i].Value(); got != perG {
+			t.Errorf("own[%d] = %d, want %d", i, got, perG)
+		}
+	}
+}
+
+// The disabled path is the acceptance bar: handles from a disabled
+// registry must cost zero allocations per operation (they are single
+// increments into the sink).
+func TestDisabledPathAllocFree(t *testing.T) {
+	r := NewRegistry(false)
+	c := r.NewCounter("c")
+	g := r.NewGauge("g")
+	h := r.NewHistogram("h", 10, 100, 1000)
+	var ext uint64
+	r.RegisterExternal("ext", &ext)
+	r.RegisterFunc("f", func() uint64 { return 0 })
+
+	i := int64(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(uint64(i))
+		h.Observe(i)
+		h.Observe(i * 1000)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("disabled metrics path allocates %v per run, want 0", avg)
+	}
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Errorf("disabled registry snapshot has %d entries, want 0", len(snap))
+	}
+	if hs := r.Histograms(); len(hs) != 0 {
+		t.Errorf("disabled registry histograms = %d, want 0", len(hs))
+	}
+}
+
+// The enabled path must be allocation-free too: slab increments only.
+func TestEnabledPathAllocFree(t *testing.T) {
+	r := NewRegistry(true)
+	c := r.NewCounter("c")
+	h := r.NewHistogram("h", 10, 100, 1000)
+	i := int64(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(i % 2000)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("enabled metrics path allocates %v per run, want 0", avg)
+	}
+	if c.Value() == 0 || h.Total() == 0 {
+		t.Error("enabled handles recorded nothing")
+	}
+}
+
+func TestDisabledHandlesAreUsableConcurrentlyPerRegistry(t *testing.T) {
+	// Two disabled registries must not share a sink: parallel simulations
+	// each own one, and plain increments across them must not race.
+	r1, r2 := NewRegistry(false), NewRegistry(false)
+	c1, c2 := r1.NewCounter("c"), r2.NewCounter("c")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10000; i++ {
+			c1.Inc()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10000; i++ {
+			c2.Inc()
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerProducesLoadableChromeTrace(t *testing.T) {
+	tr := NewTracer(700e6) // 700 MHz: 700 cycles = 1µs
+	tr.NameProcess("sttllc")
+	tr.NameThread(0, "kernel")
+	tr.NameThread(1, "l2.bank0")
+	tr.Complete(0, "bfs", 0, 7000, nil)
+	tr.Instant(1, "overflow-writeback", 1400, map[string]any{"count": uint64(2)})
+	tr.CounterSample("dram-writebacks", 700, 5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	// The document must parse back as the Chrome trace-event schema.
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUS  float64        `json:"ts"`
+			DurUS float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+
+	byName := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		byName[e.Name] = i
+	}
+	kernel := doc.TraceEvents[byName["bfs"]]
+	if kernel.Phase != "X" || kernel.TsUS != 0 || kernel.DurUS != 10 {
+		t.Errorf("kernel event = %+v, want X phase spanning 10µs", kernel)
+	}
+	inst := doc.TraceEvents[byName["overflow-writeback"]]
+	if inst.Phase != "i" || inst.Scope != "t" || inst.TID != 1 || inst.TsUS != 2 {
+		t.Errorf("instant event = %+v, want thread-scoped instant at 2µs on tid 1", inst)
+	}
+	ctr := doc.TraceEvents[byName["dram-writebacks"]]
+	if ctr.Phase != "C" || ctr.Args["value"].(float64) != 5 {
+		t.Errorf("counter event = %+v, want C phase value 5", ctr)
+	}
+	meta := doc.TraceEvents[byName["process_name"]]
+	if meta.Phase != "M" || meta.Args["name"].(string) != "sttllc" {
+		t.Errorf("metadata event = %+v, want M phase naming the process", meta)
+	}
+}
+
+func TestTracerRejectsBadClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero clock did not panic")
+		}
+	}()
+	NewTracer(0)
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sttllc/internal/config"
+	"sttllc/internal/metrics"
+	"sttllc/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden stats dumps")
+
+// exportSpec is the golden workload: small enough to run in
+// milliseconds, busy enough that migrations, refreshes, and swap-buffer
+// overflows all fire.
+func exportSpec(t *testing.T) workloads.Spec {
+	t.Helper()
+	spec, ok := workloads.ByName("bfs")
+	if !ok {
+		t.Fatal("bfs missing from suite")
+	}
+	spec = spec.Scale(0.05)
+	spec.WarpsPerSM = 4
+	return spec
+}
+
+// The golden file pins the sttllc-stats/v1 JSON shape AND the simulated
+// values: the simulator is deterministic, so any diff here is either a
+// schema change (update deliberately, note it in DESIGN.md) or a
+// behavior change (a regression unless intended).
+func TestStatsDumpGolden(t *testing.T) {
+	reg := metrics.NewRegistry(true)
+	cfg := config.C2()
+	res := RunOne(cfg, exportSpec(t), Options{Metrics: reg})
+	dump := DumpStats(res, reg)
+
+	var buf bytes.Buffer
+	if err := dump.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "stats_bfs_c2.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run 'go test ./internal/sim -run StatsDumpGolden -update' to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("stats dump diverged from %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// The dump must actually carry the counters the paper's evaluation
+// reads, with live values, regardless of what the golden pins.
+func TestStatsDumpCarriesPaperCounters(t *testing.T) {
+	reg := metrics.NewRegistry(true)
+	res := RunOne(config.C2(), exportSpec(t), Options{Metrics: reg})
+	d := DumpStats(res, reg)
+
+	if d.Schema != StatsSchema {
+		t.Errorf("schema = %q, want %q", d.Schema, StatsSchema)
+	}
+	if d.L2.HitRate <= 0 || d.L2.LRHitRate <= 0 {
+		t.Errorf("hit rates not populated: overall %v, LR %v", d.L2.HitRate, d.L2.LRHitRate)
+	}
+	if d.L2.MigrationsToLR+d.L2.Refreshes == 0 {
+		t.Error("no migration or refresh activity recorded; golden workload too small")
+	}
+	for _, name := range []string{
+		"sim.l2_requests", "l2.bank0.migrations_to_lr", "l2.bank0.refreshes",
+		"l2.bank0.overflow_writebacks", "engine.events_fired", "sm.instructions",
+	} {
+		if _, ok := d.Counters[name]; !ok {
+			t.Errorf("counter %q missing from dump", name)
+		}
+	}
+	if d.Counters["sim.l2_requests"] == 0 {
+		t.Error("sim.l2_requests recorded nothing")
+	}
+	found := false
+	for _, h := range d.Histograms {
+		if h.Name == "sim.l2_latency_cycles" {
+			found = true
+			var total uint64
+			for _, c := range h.Counts {
+				total += c
+			}
+			if total+h.Overflow != d.Counters["sim.l2_requests"] {
+				t.Errorf("latency histogram total %d != request count %d",
+					total+h.Overflow, d.Counters["sim.l2_requests"])
+			}
+		}
+	}
+	if !found {
+		t.Error("sim.l2_latency_cycles histogram missing from dump")
+	}
+}
+
+// Observability must never perturb the simulation: a fully instrumented
+// run (enabled registry + tracer) and a bare run must produce
+// bit-identical Results.
+func TestInstrumentationDoesNotPerturbResults(t *testing.T) {
+	spec := exportSpec(t)
+	for _, cfg := range []config.GPUConfig{config.BaselineSRAM(), config.C2()} {
+		bare := RunOne(cfg, spec, Options{})
+		tr := metrics.NewTracer(cfg.ClockHz)
+		instr := RunOne(cfg, spec, Options{
+			Metrics: metrics.NewRegistry(true),
+			Tracer:  tr,
+		})
+		if !reflect.DeepEqual(bare, instr) {
+			t.Errorf("%s: instrumented run diverged from bare run", cfg.Name)
+		}
+		if tr.Len() == 0 {
+			t.Errorf("%s: tracer captured no events", cfg.Name)
+		}
+	}
+}

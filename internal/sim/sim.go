@@ -16,6 +16,7 @@ import (
 	"sttllc/internal/engine"
 	"sttllc/internal/gpu"
 	"sttllc/internal/interconnect"
+	"sttllc/internal/metrics"
 	"sttllc/internal/power"
 	"sttllc/internal/trace"
 	"sttllc/internal/workloads"
@@ -36,6 +37,16 @@ type Options struct {
 	// timing state), so the reported numbers exclude cold-start
 	// effects.
 	WarmupInstructions uint64
+	// Metrics, when non-nil, is the registry the simulator publishes its
+	// counters into (see DumpStats). Each simulation needs its own
+	// registry — metric names are global within one. When nil, the
+	// simulator creates a private disabled registry: the instrumented
+	// paths still run, but record nothing and cost no allocations.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives the run's timeline — kernel phases,
+	// bank refresh/expiry windows, swap-buffer overflow drains, DRAM
+	// writeback progress — as Chrome-trace events in simulated time.
+	Tracer *metrics.Tracer
 }
 
 // Simulator holds one configured GPU running one kernel.
@@ -55,6 +66,17 @@ type Simulator struct {
 	lineShift uint // log2(LineBytes); line sizes are powers of two
 	router    bankRouter
 	resident  int
+
+	// Observability (see observe.go). reg is never nil after New; mReq
+	// and mLat are live handles even when it is disabled.
+	reg    *metrics.Registry
+	tracer *metrics.Tracer
+	mReq   metrics.Counter
+	mLat   *metrics.Histogram
+	// Engine lifetime totals, accumulated across drive calls (RunApp
+	// drives once per kernel).
+	engSched uint64
+	engFired uint64
 }
 
 // New builds a simulator for the configuration and workload.
@@ -88,6 +110,7 @@ func New(cfg config.GPUConfig, spec workloads.Spec, opts Options) *Simulator {
 		}
 	}
 	s.buildSMs(spec)
+	s.registerMetrics()
 	return s
 }
 
@@ -128,7 +151,12 @@ func (s *Simulator) Access(now int64, smID int, addr uint64, write bool) int64 {
 		arrive = s.reqNet.Deliver(now, bank)
 	}
 	done, _ := s.banks[bank].Access(arrive, local, write)
-	return s.replyNet.DeliverUncontended(done, smID)
+	reply := s.replyNet.DeliverUncontended(done, smID)
+	// Observability: one slab increment and one bucket scan; against a
+	// disabled registry both degenerate to sink increments.
+	s.mReq.Inc()
+	s.mLat.Observe(reply - now)
+	return reply
 }
 
 // Banks exposes the L2 banks for characterization experiments.
@@ -174,6 +202,12 @@ type Result struct {
 // Run executes the kernel to completion and returns the result.
 func (s *Simulator) Run() Result {
 	start, end := s.drive(0, s.opts.WarmupInstructions)
+	if s.tracer != nil {
+		s.tracer.Complete(kernelTID, s.spec.Name, 0, end, nil)
+		if start > 0 {
+			s.tracer.Instant(kernelTID, "warmup-reset", start, nil)
+		}
+	}
 	r := s.finalize(end)
 	if start > 0 {
 		// Report rates over the measured window only.
@@ -247,13 +281,25 @@ type smActor struct {
 func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64) {
 	eng := engine.New(start)
 	timers := engine.New(start)
-	for _, b := range s.banks {
+	for bi, b := range s.banks {
 		if p := b.TickPeriod(); p > 0 {
 			b := b
 			var tick engine.Func
-			tick = func(at int64) {
-				b.Tick(at)
-				timers.Schedule(at+p, tick)
+			if s.tracer == nil {
+				tick = func(at int64) {
+					b.Tick(at)
+					timers.Schedule(at+p, tick)
+				}
+			} else {
+				// Traced variant: identical Tick call, then emit the
+				// window's activity from the stats delta. Observation
+				// never feeds back into simulation state.
+				bt := s.newBankTrace(bi, b)
+				tick = func(at int64) {
+					b.Tick(at)
+					bt.emit(at)
+					timers.Schedule(at+p, tick)
+				}
 			}
 			timers.Schedule(start+p, tick)
 		}
@@ -440,6 +486,8 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			a.sm.AccrueStoreStalls(gap)
 		}
 	}
+	s.engSched += eng.ScheduledTotal() + timers.ScheduledTotal()
+	s.engFired += eng.FiredTotal() + timers.FiredTotal()
 	return boundary, now
 }
 
@@ -602,6 +650,10 @@ func RunApp(cfg config.GPUConfig, app workloads.App, opts Options) AppResult {
 		}
 		accBefore, hitBefore := s.bankTotals()
 		_, end := s.drive(now, 0)
+		if s.tracer != nil {
+			s.tracer.Complete(kernelTID, spec.Name, now, end,
+				map[string]any{"kernel": ki})
+		}
 		var instr uint64
 		for _, sm := range s.sms {
 			instr += sm.Stats().Instructions
