@@ -501,6 +501,22 @@ func (c *Cache) ValidWord(set, wi int) uint64 {
 	return c.valid[set*c.maskWords+wi]
 }
 
+// DirtyWord returns mask word wi of the set's dirty bitmask. Invariant
+// checkers use it to verify dirty ⊆ valid at the raw-bitmask level,
+// which DirtyAt (per-way) cannot distinguish from a stale bit on an
+// invalid way.
+func (c *Cache) DirtyWord(set, wi int) uint64 {
+	return c.dirty[set*c.maskWords+wi]
+}
+
+// UseStampAt returns the replacement use stamp of (set, way): the value
+// the LRU policy compares, assigned from a cache-wide counter on every
+// hit and fill and zeroed on invalidate. Exposed so an external
+// reference model can compare replacement state exactly.
+func (c *Cache) UseStampAt(set, way int) uint64 {
+	return c.lru[set*c.Ways+way]
+}
+
 // Fill allocates the address into its set (evicting the LRU victim if the
 // set is full) and returns the evicted line, if any was valid. The new
 // line is installed MRU; dirty marks it modified (e.g. a write-allocate

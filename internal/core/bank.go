@@ -216,9 +216,13 @@ func cyclesOf(d time.Duration, clockHz float64) int64 {
 	return c
 }
 
-// usOf converts a cycle count to microseconds at clockHz.
+// usOf converts a cycle count to microseconds at clockHz. The multiply
+// happens before the divide so the result rounds once: dividing first
+// and scaling after rounds twice, which can push a value that is
+// exactly a Fig. 6 bucket edge (e.g. 7000 cycles at 700MHz = 10µs) a
+// ULP across it and into the wrong bucket.
 func usOf(cycles int64, clockHz float64) float64 {
-	return float64(cycles) / clockHz * 1e6
+	return float64(cycles) * 1e6 / clockHz
 }
 
 // tagEnergy returns the energy of one SRAM tag-array probe for a cache

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // swapBuffer models one of the two small SRAM buffers between the LR and
 // HR parts (Fig. 7). A buffer entry holds one cache line in flight: a
 // migrating block, a returning LR victim, or a block being refreshed. The
@@ -47,22 +49,26 @@ func (b *swapBuffer) tryEnqueue(now int64, serviceCycles int64) bool {
 }
 
 // enqueue reserves a slot with backpressure: if the buffer is full at
-// cycle now, the caller stalls until the earliest in-flight drain
-// completes. It returns the cycle at which the slot was obtained, which
-// is when the foreground handoff can be acknowledged. This bounds the
-// sustained store throughput of the bank to the LR array's write
-// bandwidth rather than letting a 1-cycle handoff absorb unlimited write
-// streams.
+// cycle now, the caller stalls until a slot frees up. It returns the
+// cycle at which the slot was obtained, which is when the foreground
+// handoff can be acknowledged. This bounds the sustained store
+// throughput of the bank to the LR array's write bandwidth rather than
+// letting a 1-cycle handoff absorb unlimited write streams.
+//
+// pending is sorted ascending: reserve chains every drain through
+// nextFree, so completion times are issued strictly increasing, and
+// occupancy's pruning preserves order. With occ live entries and
+// capacity slots, the occ-capacity oldest entries' slots have already
+// been re-granted to the entries behind them, so the stalled request
+// gets its slot when entry occ-capacity completes — not at the overall
+// earliest completion, which would hand the same freed slot to every
+// queued request at once and acknowledge stores while all slots (and
+// the background port, whose availability is folded into those
+// completion times) are still busy.
 func (b *swapBuffer) enqueue(now int64, serviceCycles int64) int64 {
 	slotAt := now
-	if b.occupancy(now) >= b.capacity {
-		earliest := b.pending[0]
-		for _, d := range b.pending {
-			if d < earliest {
-				earliest = d
-			}
-		}
-		slotAt = earliest
+	if occ := b.occupancy(now); occ >= b.capacity {
+		slotAt = b.pending[occ-b.capacity]
 	}
 	b.reserve(slotAt, serviceCycles)
 	return slotAt
@@ -76,6 +82,25 @@ func (b *swapBuffer) reserve(now int64, serviceCycles int64) {
 	done := start + serviceCycles
 	b.nextFree = done
 	b.pending = append(b.pending, done)
+}
+
+// check verifies the buffer's structural invariants at cycle now:
+// pending completion times are strictly ascending and none exceeds the
+// background port's availability. Together with the slot-grant rule in
+// enqueue (entry k's slot is granted no earlier than entry k-capacity
+// completes), ascending completions imply that at most capacity drains
+// ever hold slots simultaneously.
+func (b *swapBuffer) check(now int64) error {
+	b.occupancy(now)
+	for i, done := range b.pending {
+		if i > 0 && done <= b.pending[i-1] {
+			return fmt.Errorf("pending completions out of order at %d: %d after %d", i, done, b.pending[i-1])
+		}
+		if done > b.nextFree {
+			return fmt.Errorf("pending completion %d beyond background port availability %d", done, b.nextFree)
+		}
+	}
+	return nil
 }
 
 // reset clears all slots.

@@ -1,0 +1,83 @@
+package core
+
+import "testing"
+
+// Two stores stalled on a full buffer must be granted the slot at
+// DISTINCT completion times: the first when the oldest drain finishes,
+// the second when the next one does. The pre-fix enqueue granted every
+// stalled request the overall earliest pending completion, so one freed
+// slot acknowledged any number of queued stores while the background
+// port was still busy draining the first.
+func TestSwapBufferBackpressureGrantsDistinctSlots(t *testing.T) {
+	b := newSwapBuffer(2)
+	// Fill both slots at cycle 0. Drains chain through the background
+	// port: completions at 4 and 8.
+	if got := b.enqueue(0, 4); got != 0 {
+		t.Fatalf("first enqueue granted at %d, want 0 (slot free)", got)
+	}
+	if got := b.enqueue(0, 4); got != 0 {
+		t.Fatalf("second enqueue granted at %d, want 0 (slot free)", got)
+	}
+	// Buffer full at cycle 1: the third request waits for the first
+	// drain (done 4), the fourth for the second (done 8).
+	third := b.enqueue(1, 4)
+	fourth := b.enqueue(1, 4)
+	if third != 4 {
+		t.Errorf("third enqueue granted at %d, want 4 (earliest drain)", third)
+	}
+	if fourth != 8 {
+		t.Errorf("fourth enqueue granted at %d, want 8 (next drain, not the same freed slot)", fourth)
+	}
+	if err := b.check(1); err != nil {
+		t.Errorf("buffer invariant violated: %v", err)
+	}
+}
+
+// Drains granted under backpressure complete in grant order even when
+// the requests arrive much later than the drains they wait on: grant
+// times never decrease across a burst, and each new drain's completion
+// stays behind the background port.
+func TestSwapBufferOutOfOrderDrainRegression(t *testing.T) {
+	b := newSwapBuffer(2)
+	prevGrant, prevDone := int64(-1), int64(-1)
+	now := int64(0)
+	for i := 0; i < 50; i++ {
+		now += int64(i % 3) // bursts: several enqueues per cycle
+		grant := b.enqueue(now, 5)
+		done := b.nextFree
+		if grant < prevGrant {
+			t.Fatalf("enqueue %d at cycle %d granted at %d, before previous grant %d", i, now, grant, prevGrant)
+		}
+		if done <= prevDone {
+			t.Fatalf("enqueue %d drain completes at %d, not after previous %d", i, done, prevDone)
+		}
+		if grant < now {
+			t.Fatalf("enqueue %d granted at %d, before request cycle %d", i, grant, now)
+		}
+		if err := b.check(now); err != nil {
+			t.Fatalf("after enqueue %d: %v", i, err)
+		}
+		prevGrant, prevDone = grant, done
+	}
+}
+
+// A slot freed by a completed drain is reusable: once time passes the
+// earliest completion, occupancy drops and tryEnqueue succeeds again.
+func TestSwapBufferSlotReuseAfterDrain(t *testing.T) {
+	b := newSwapBuffer(1)
+	if !b.tryEnqueue(0, 4) {
+		t.Fatal("empty buffer must accept")
+	}
+	if b.tryEnqueue(1, 4) {
+		t.Fatal("full buffer must reject tryEnqueue")
+	}
+	if occ := b.occupancy(3); occ != 1 {
+		t.Fatalf("occupancy(3) = %d, want 1 (drain completes at 4)", occ)
+	}
+	if occ := b.occupancy(4); occ != 0 {
+		t.Fatalf("occupancy(4) = %d, want 0", occ)
+	}
+	if !b.tryEnqueue(5, 4) {
+		t.Fatal("drained buffer must accept again")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"sttllc/internal/dram"
+	"sttllc/internal/sttram"
+)
+
+// usOf must round once: a cycle count whose duration is exactly a
+// bucket edge has to compare <= that edge. The paper's five Fig. 6
+// edges happen to survive the old divide-then-scale double rounding,
+// but the property must hold for any edge: 7700 cycles at 1GHz is
+// exactly 7.7µs, and 7700.0/1e9*1e6 = 7.700000000000001 lands it in
+// the wrong bucket.
+func TestUsOfEdgeExact(t *testing.T) {
+	cases := []struct {
+		cycles int64
+		hz     float64
+		us     float64
+	}{
+		{7700, 1e9, 7.7}, // fails with divide-first double rounding
+		{700, 700e6, 1},
+		{3500, 700e6, 5},
+		{7000, 700e6, 10}, // Fig. 6 "≤10µs" edge at the paper's clock
+		{700000, 700e6, 1000},
+		{1750000, 700e6, 2500},
+		{1000, 1e9, 1},
+		{2500000, 1e9, 2500},
+	}
+	for _, c := range cases {
+		if got := usOf(c.cycles, c.hz); got != c.us {
+			t.Errorf("usOf(%d, %g) = %.20g, want exactly %g", c.cycles, c.hz, got, c.us)
+		}
+	}
+}
+
+// The full Fig. 6 path: a rewrite after exactly 7000 cycles at the
+// paper's 700MHz clock is exactly 10µs and must land in the "≤10µs"
+// bucket, not the next one.
+func TestRewriteIntervalBucketEdgeExact(t *testing.T) {
+	mc := dram.New(8, 2048, dram.DefaultTiming())
+	b := NewTwoPartBank(TwoPartConfig{
+		LRBytes: 2 << 10, LRWays: 2, LRCell: sttram.LRCell(),
+		HRBytes: 8 << 10, HRWays: 4, HRCell: sttram.HRCell(),
+		LineBytes: 64, ClockHz: 700e6,
+	}, mc)
+	b.Access(0, 0x40, true)    // allocate into LR
+	b.Access(7000, 0x40, true) // rewrite exactly 10µs later
+	h := b.stats.RewriteIntervals
+	if h.N != 1 {
+		t.Fatalf("rewrite samples = %d, want 1", h.N)
+	}
+	if h.Counts[2] != 1 { // edges 1, 5, 10, 1000, 2500
+		t.Errorf("10µs edge sample landed in %v (overflow %d), want the ≤10µs bucket", h.Counts, h.Overflow)
+	}
+	// And one cycle later must fall in the next bucket.
+	b.Access(14001, 0x40, true) // 7001 cycles since last write
+	if h.Counts[3] != 1 {
+		t.Errorf("10µs+1cy sample landed in %v, want the ≤1000µs bucket", h.Counts)
+	}
+}
+
+// The same uniform-bank path records rewrite intervals for dirty write
+// hits; the edge must be exact there too.
+func TestUniformRewriteIntervalBucketEdgeExact(t *testing.T) {
+	mc := dram.New(8, 2048, dram.DefaultTiming())
+	b := NewUniformBank(UniformConfig{
+		CapacityBytes: 16 << 10, Ways: 4, LineBytes: 64,
+		Cell: sttram.ArchivalCell(), ClockHz: 700e6,
+	}, mc)
+	b.Access(0, 0x40, true)    // write-allocate, dirty
+	b.Access(7000, 0x40, true) // rewrite exactly 10µs later
+	h := b.stats.RewriteIntervals
+	if h.N != 1 || h.Counts[2] != 1 {
+		t.Errorf("uniform 10µs edge sample: N=%d counts=%v, want the ≤10µs bucket", h.N, h.Counts)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/bits"
 
 	"sttllc/internal/cache"
@@ -53,6 +54,13 @@ type TwoPartConfig struct {
 	// Replacement selects the victim policy of both parts (default
 	// LRU).
 	Replacement cache.Policy
+}
+
+// Normalized returns the configuration with defaults applied, exactly
+// as NewTwoPartBank will interpret it.
+func (c TwoPartConfig) Normalized() TwoPartConfig {
+	c.applyDefaults()
+	return c
 }
 
 func (c *TwoPartConfig) applyDefaults() {
@@ -183,6 +191,36 @@ func NewTwoPartBank(cfg TwoPartConfig, mc *dram.Controller) *TwoPartBank {
 // Threshold returns the WWS monitor's current write threshold (equal to
 // the configured value unless AdaptiveThreshold is tuning it).
 func (b *TwoPartBank) Threshold() uint8 { return b.threshold }
+
+// Config returns the bank's configuration with defaults applied, as the
+// constructor saw it. External verifiers (internal/refmodel) use it to
+// build an equivalent reference bank and to bound retention windows.
+func (b *TwoPartBank) Config() TwoPartConfig { return b.cfg }
+
+// RetentionCycles returns the LR and HR retention windows in cycles.
+func (b *TwoPartBank) RetentionCycles() (lr, hr int64) { return b.lrRetCy, b.hrRetCy }
+
+// TickCycles returns the LR and HR retention-scan periods in cycles.
+func (b *TwoPartBank) TickCycles() (lr, hr int64) { return b.lrTickCy, b.hrTickCy }
+
+// SwapOccupancy returns how many entries each swap buffer still holds at
+// cycle now (completed drains are pruned, reservations granted under
+// backpressure are counted).
+func (b *TwoPartBank) SwapOccupancy(now int64) (hr2lr, lr2hr int) {
+	return b.hr2lr.occupancy(now), b.lr2hr.occupancy(now)
+}
+
+// CheckSwapBuffers verifies the structural invariants of both swap
+// buffers at cycle now; see swapBuffer.check.
+func (b *TwoPartBank) CheckSwapBuffers(now int64) error {
+	if err := b.hr2lr.check(now); err != nil {
+		return fmt.Errorf("hr2lr buffer: %w", err)
+	}
+	if err := b.lr2hr.check(now); err != nil {
+		return fmt.Errorf("lr2hr buffer: %w", err)
+	}
+	return nil
+}
 
 // LRArray and HRArray expose the parts for characterization experiments.
 func (b *TwoPartBank) LRArray() *cache.Cache { return b.lr }

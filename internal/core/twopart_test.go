@@ -535,6 +535,123 @@ func TestNoDirtyDataEverLost(t *testing.T) {
 	}
 }
 
+// Drain must flush dirty lines from BOTH parts, leave the lines valid
+// and clean, and deliver every flushed address to DRAM.
+func TestDrainFlushesBothParts(t *testing.T) {
+	b := newTestBank(func(c *TwoPartConfig) { c.WriteThreshold = 3 })
+	b.mc.LogWrites = true
+	b.Access(0, 0x1040, true) // TH=3: write miss allocates dirty into HR
+	// Three writes to one block cross the threshold and migrate it
+	// dirty into LR.
+	b.Access(10, 0x2080, true)
+	b.Access(20, 0x2080, true)
+	b.Access(30, 0x2080, true)
+	if b.stats.MigrationsToLR != 1 || b.stats.HRWriteFills != 2 {
+		t.Fatalf("setup: %+v", b.stats)
+	}
+	wb := b.stats.DRAMWritebacks
+	b.Drain(1000)
+	if got := b.stats.DRAMWritebacks - wb; got != 2 {
+		t.Fatalf("Drain wrote back %d lines, want 2 (one per part)", got)
+	}
+	logged := map[uint64]bool{}
+	for _, a := range b.mc.WriteLog {
+		logged[a] = true
+	}
+	if !logged[0x1040&^63] || !logged[0x2080&^63] {
+		t.Errorf("drained addresses missing from DRAM write log: %v", b.mc.WriteLog)
+	}
+	// Drained lines stay resident, just clean.
+	if set, way, ok := b.hr.Probe(0x1040); !ok || b.hr.DirtyAt(set, way) {
+		t.Error("HR line should remain valid and clean after Drain")
+	}
+	if set, way, ok := b.lr.Probe(0x2080); !ok || b.lr.DirtyAt(set, way) {
+		t.Error("LR line should remain valid and clean after Drain")
+	}
+	b.Drain(2000)
+	if b.stats.DRAMWritebacks != wb+2 {
+		t.Error("second Drain must be a no-op")
+	}
+}
+
+// When the LR->HR buffer is full at a scan boundary, a due LR line
+// cannot be refreshed: it is dropped (LRExpiryDrops), and a dirty drop
+// is forced out to DRAM as an overflow writeback while a clean drop
+// just disappears.
+func TestLRExpiryDropsWhenRefreshBufferFull(t *testing.T) {
+	b := newTestBank(func(c *TwoPartConfig) { c.BufferBlocks = 1 })
+	b.Access(0, 0x40, true)  // LR line, dirty
+	b.Drain(10)              // ...now clean (retention stamp still 0)
+	b.Access(20, 0x80, true) // second LR line, dirty
+	// Jam the LR->HR buffer past every scan boundary we will cross, so
+	// tryEnqueue fails and the refresh path is unavailable.
+	b.lr2hr.reserve(20, 8*b.lrRetCy)
+	wb := b.stats.DRAMWritebacks
+	b.Tick(b.lrRetCy + 2*b.lrTickCy)
+	if b.stats.LRExpiryDrops != 2 {
+		t.Fatalf("LRExpiryDrops = %d, want 2", b.stats.LRExpiryDrops)
+	}
+	if b.stats.Refreshes != 0 {
+		t.Errorf("Refreshes = %d, want 0 (buffer was full)", b.stats.Refreshes)
+	}
+	if b.stats.OverflowWritebacks != 1 {
+		t.Errorf("OverflowWritebacks = %d, want 1 (only the dirty line)", b.stats.OverflowWritebacks)
+	}
+	if b.stats.DRAMWritebacks != wb+1 {
+		t.Errorf("DRAMWritebacks delta = %d, want 1", b.stats.DRAMWritebacks-wb)
+	}
+	if _, _, ok := b.lr.Probe(0x40); ok {
+		t.Error("clean dropped line must be invalidated")
+	}
+	if _, _, ok := b.lr.Probe(0x80); ok {
+		t.Error("dirty dropped line must be invalidated")
+	}
+}
+
+// An LR victim that cannot enter the full LR->HR buffer is written back
+// to DRAM if dirty (counted as an overflow writeback) and silently
+// dropped if clean — it must not appear in HR either way.
+func TestReturnToHRVictimOnFullBuffer(t *testing.T) {
+	// LR: 2KB, 2 ways, 64B lines -> 16 sets; 1KB stride conflicts.
+	const a0, a1, a2 = uint64(0x0000), uint64(0x0400), uint64(0x0800)
+
+	t.Run("dirty", func(t *testing.T) {
+		b := newTestBank(func(c *TwoPartConfig) { c.BufferBlocks = 1 })
+		b.lr2hr.reserve(0, 1<<40) // buffer permanently full
+		b.Access(100, a0, true)
+		b.Access(200, a1, true)
+		b.Access(300, a2, true) // evicts dirty a0
+		if b.stats.EvictionsToHR != 0 {
+			t.Errorf("EvictionsToHR = %d, want 0", b.stats.EvictionsToHR)
+		}
+		if b.stats.OverflowWritebacks != 1 || b.stats.DRAMWritebacks != 1 {
+			t.Errorf("dirty victim should be written back: %+v", b.stats)
+		}
+		if _, _, ok := b.hr.Probe(a0); ok {
+			t.Error("victim must not land in HR when the buffer is full")
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		b := newTestBank(func(c *TwoPartConfig) { c.BufferBlocks = 1 })
+		b.Access(100, a0, true)
+		b.Drain(150) // a0 clean
+		wb := b.stats.DRAMWritebacks
+		b.lr2hr.reserve(150, 1<<40)
+		b.Access(200, a1, true)
+		b.Access(300, a2, true) // evicts clean a0
+		if b.stats.OverflowWritebacks != 0 || b.stats.DRAMWritebacks != wb {
+			t.Errorf("clean victim must not write back: %+v", b.stats)
+		}
+		if _, _, ok := b.hr.Probe(a0); ok {
+			t.Error("clean victim must not land in HR when the buffer is full")
+		}
+		if _, _, ok := b.lr.Probe(a0); ok {
+			t.Error("clean victim must be gone from LR")
+		}
+	})
+}
+
 func TestAdaptiveThresholdRaisesUnderPressure(t *testing.T) {
 	b := newTestBank(func(c *TwoPartConfig) {
 		c.AdaptiveThreshold = true

@@ -78,6 +78,10 @@ func NewUniformBank(cfg UniformConfig, mc *dram.Controller) *UniformBank {
 // in characterization experiments).
 func (b *UniformBank) Array() *cache.Cache { return b.arr }
 
+// Config returns the bank's configuration with defaults applied, as the
+// constructor saw it.
+func (b *UniformBank) Config() UniformConfig { return b.cfg }
+
 func tagBitsFor(capacity, ways, lineBytes, addrBits int) int {
 	sets := capacity / (ways * lineBytes)
 	setBits := 0

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"sttllc/internal/config"
+	"sttllc/internal/core"
 	"sttllc/internal/sim"
 	"sttllc/internal/workloads"
 )
@@ -33,6 +34,12 @@ type Params struct {
 	// CPUs). Each benchmark's runs stay sequential internally, so
 	// results are deterministic regardless of the setting.
 	Parallel int
+	// InvariantCheck, when non-nil, audits bank state during every run
+	// of the sweep (see sim.Options.InvariantCheck). The checker must
+	// be safe for concurrent use across banks and runs when Parallel
+	// allows more than one evaluation at a time — stateless checkers
+	// like refmodel.CheckBank are.
+	InvariantCheck func(bank int, b core.Bank, now int64) error
 }
 
 func (p Params) scale() float64 {
@@ -66,7 +73,7 @@ func (p Params) specs() []workloads.Spec {
 }
 
 func (p Params) opts() sim.Options {
-	return sim.Options{MaxCycles: p.MaxCycles}
+	return sim.Options{MaxCycles: p.MaxCycles, InvariantCheck: p.InvariantCheck}
 }
 
 // run executes one configuration for one spec.

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"sttllc/internal/core"
+	"sttllc/internal/refmodel"
 	"sttllc/internal/workloads"
 )
 
@@ -14,6 +17,37 @@ import (
 // benchmarks, short warps.
 func tiny(benchmarks ...string) Params {
 	return Params{Scale: 0.04, WarpsPerSM: 6, Benchmarks: benchmarks}
+}
+
+// TestInvariantCheckedParallelSweep runs a parallel Fig. 6 sweep with
+// the refmodel invariant checker auditing every bank of every run.
+// Under `go test -race` this exercises the worker pool and the
+// (stateless, shared) checker together. It also re-verifies the Fig. 6
+// output contract after the usOf rounding fix: every benchmark records
+// samples and its bucket fractions sum to 1.
+func TestInvariantCheckedParallelSweep(t *testing.T) {
+	p := tiny("bfs", "stencil")
+	p.Parallel = 2
+	p.InvariantCheck = func(bank int, b core.Bank, now int64) error {
+		return refmodel.CheckBank(b, now)
+	}
+	rows := Fig6(p)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Samples == 0 {
+			t.Errorf("%s: no rewrite-interval samples", r.Benchmark)
+			continue
+		}
+		sum := 0.0
+		for _, f := range r.Fractions {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: bucket fractions sum to %v, want 1", r.Benchmark, sum)
+		}
+	}
 }
 
 func TestParamsDefaults(t *testing.T) {

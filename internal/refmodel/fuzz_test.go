@@ -1,0 +1,51 @@
+package refmodel
+
+import (
+	"testing"
+)
+
+// FuzzDifferential feeds fuzzer-shaped traces through the differential
+// harness: any byte string decodes to a valid bounded trace
+// (DecodeFuzzTrace), the first byte picks the organization, and any
+// divergence between the optimized bank and the reference model fails.
+// The committed corpus in testdata/fuzz/FuzzDifferential seeds the
+// search and doubles as a regression suite: it replays on every plain
+// `go test` run.
+func FuzzDifferential(f *testing.F) {
+	orgs := Organizations()
+
+	// Store burst into C2: six back-to-back write misses allocate into
+	// LR through the HR->LR buffer and pile up backpressure — the
+	// access pattern that exposed the swap-buffer slot double-grant
+	// (every stalled request was granted the same freed slot).
+	burst := []byte{1}
+	for line := byte(1); line <= 6; line++ {
+		burst = append(burst, 1, line, 1)
+	}
+	f.Add(burst)
+
+	// Read-heavy stream with reuse: MSHR merging and HR hit paths.
+	reads := []byte{2}
+	for i := byte(0); i < 24; i++ {
+		reads = append(reads, 2, i%5, 0)
+	}
+	f.Add(reads)
+
+	// Alternating read/write over a small hot set on C1: migrations and
+	// LR victim returns.
+	mixed := []byte{0}
+	for i := byte(0); i < 32; i++ {
+		mixed = append(mixed, 3, i%7, i&1)
+	}
+	f.Add(mixed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		org, records := DecodeFuzzTrace(data, len(orgs))
+		if len(records) == 0 {
+			t.Skip("no records decoded")
+		}
+		if err := Diff(orgs[org].New(), records); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+// Package refmodel is a deliberately slow, obviously-correct executable
+// specification of the simulator's L2 bank organizations — the paper's
+// two-part LR/HR bank (Fig. 7 semantics as written down in DESIGN.md §1)
+// and the uniform single-technology baseline — plus an invariant checker
+// over live bank state and a differential harness that replays
+// trace.Record streams into the optimized internal/core banks and this
+// reference side by side.
+//
+// Everything here favors obviousness over speed: plain per-set slices
+// instead of SoA slabs, a map instead of the open-addressed MSHR, full
+// array scans at every retention boundary instead of the bucketed expiry
+// wheel, and a swap buffer that stores every grant explicitly and
+// asserts the paper's capacity constraint on itself. Timing and energy
+// arithmetic is transcribed from the spec (same formulas, same
+// floating-point evaluation order), so a correct optimized bank matches
+// the reference bit for bit — including the energy ledger.
+package refmodel
+
+import (
+	"sttllc/internal/cache"
+)
+
+// refLine is one cache line of the reference array. One struct per
+// line, no packing.
+type refLine struct {
+	valid bool
+	tag   uint64
+	dirty bool
+	// wrCount is the paper's saturating write-working-set counter.
+	wrCount uint8
+	// lastWrite is the cycle of the most recent program write.
+	lastWrite int64
+	// retStamp is the cycle of the most recent physical array write
+	// (program write, fill, or refresh); retention expiry counts from
+	// here.
+	retStamp int64
+	// use is the LRU stamp: assigned from a cache-wide counter on every
+	// hit and fill, zeroed on invalidate; the smallest valid stamp in a
+	// set is the victim.
+	use uint64
+	// wear counts physical writes into the slot and survives
+	// invalidation.
+	wear uint32
+}
+
+// refCache is the reference set-associative array. Only LRU replacement
+// is specified; the optimized cache's other policies are extensions
+// outside the paper.
+type refCache struct {
+	ways      int
+	lineBytes int
+	sets      int
+	setShift  uint
+	tagShift  uint
+	lines     [][]refLine // [set][way]
+	stamp     uint64
+	stats     cache.Stats
+}
+
+func log2of(v int) uint {
+	n := uint(0)
+	for s := 1; s < v; s <<= 1 {
+		n++
+	}
+	return n
+}
+
+func newRefCache(capacityBytes, ways, lineBytes int) *refCache {
+	sets := capacityBytes / (ways * lineBytes)
+	c := &refCache{
+		ways:      ways,
+		lineBytes: lineBytes,
+		sets:      sets,
+		setShift:  log2of(lineBytes),
+		tagShift:  log2of(sets),
+		lines:     make([][]refLine, sets),
+	}
+	for s := range c.lines {
+		c.lines[s] = make([]refLine, ways)
+	}
+	return c
+}
+
+func (c *refCache) index(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.setShift
+	return int(blk & uint64(c.sets-1)), blk >> c.tagShift
+}
+
+func (c *refCache) addrOf(set int, tag uint64) uint64 {
+	return (tag<<c.tagShift | uint64(set)) << c.setShift
+}
+
+func (c *refCache) blockAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.lineBytes) - 1)
+}
+
+// probe looks the address up without changing state.
+func (c *refCache) probe(addr uint64) (set, way int, hit bool) {
+	set, tag := c.index(addr)
+	for w := range c.lines[set] {
+		if l := &c.lines[set][w]; l.valid && l.tag == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// accessAt applies hit-side bookkeeping: LRU always; dirty bit, WC
+// saturation, last-write and retention stamps, and wear on writes.
+func (c *refCache) accessAt(set, way int, write bool, cycle int64) {
+	c.stamp++
+	l := &c.lines[set][way]
+	l.use = c.stamp
+	if write {
+		c.stats.WriteHits++
+		l.dirty = true
+		if l.wrCount < 255 {
+			l.wrCount++
+		}
+		l.lastWrite = cycle
+		l.retStamp = cycle
+		l.wear++
+	} else {
+		c.stats.ReadHits++
+	}
+}
+
+// victim picks the way to evict: the lowest-index invalid way if any,
+// otherwise the valid line with the smallest use stamp (lowest way on
+// ties).
+func (c *refCache) victim(set int) int {
+	for w := range c.lines[set] {
+		if !c.lines[set][w].valid {
+			return w
+		}
+	}
+	victim, min := 0, ^uint64(0)
+	for w := range c.lines[set] {
+		if c.lines[set][w].use < min {
+			min = c.lines[set][w].use
+			victim = w
+		}
+	}
+	return victim
+}
+
+// refEvicted mirrors cache.Evicted for the reference array.
+type refEvicted struct {
+	addr  uint64
+	dirty bool
+}
+
+// fill installs the address (evicting if the set is full), returning
+// the displaced line. A fill is a physical write: it stamps retention,
+// bumps wear, and initializes WC to 1 for dirty fills.
+func (c *refCache) fill(addr uint64, dirty bool, cycle int64) (ev refEvicted, evicted bool) {
+	set, tag := c.index(addr)
+	way := c.victim(set)
+	l := &c.lines[set][way]
+	if l.valid {
+		ev = refEvicted{addr: c.addrOf(set, l.tag), dirty: l.dirty}
+		evicted = true
+		c.stats.Evictions++
+		if l.dirty {
+			c.stats.DirtyEvict++
+		}
+	}
+	c.stamp++
+	l.valid = true
+	l.tag = tag
+	l.dirty = dirty
+	l.use = c.stamp
+	if dirty {
+		l.wrCount = 1
+	} else {
+		l.wrCount = 0
+	}
+	l.lastWrite = cycle
+	l.retStamp = cycle
+	l.wear++
+	c.stats.Fills++
+	return ev, evicted
+}
+
+// invalidateWay removes the line, zeroing all metadata except wear.
+func (c *refCache) invalidateWay(set, way int) refEvicted {
+	l := &c.lines[set][way]
+	if !l.valid {
+		return refEvicted{}
+	}
+	ev := refEvicted{addr: c.addrOf(set, l.tag), dirty: l.dirty}
+	l.valid = false
+	l.dirty = false
+	l.wrCount = 0
+	l.lastWrite = 0
+	l.retStamp = 0
+	l.use = 0
+	c.stats.Invalidates++
+	return ev
+}
+
+// flushDirty visits every dirty line in (set, way) order and cleans it.
+func (c *refCache) flushDirty(fn func(addr uint64)) {
+	for set := range c.lines {
+		for way := range c.lines[set] {
+			l := &c.lines[set][way]
+			if l.valid && l.dirty {
+				fn(c.addrOf(set, l.tag))
+				l.dirty = false
+			}
+		}
+	}
+}
+
+func (c *refCache) validLines() int {
+	n := 0
+	for set := range c.lines {
+		for way := range c.lines[set] {
+			if c.lines[set][way].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

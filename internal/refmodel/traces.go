@@ -1,0 +1,126 @@
+package refmodel
+
+import (
+	"encoding/binary"
+
+	"sttllc/internal/trace"
+)
+
+// xorshift64star is a tiny deterministic PRNG so synthetic traces are
+// reproducible from their seed alone.
+type xorshift64star uint64
+
+func (x *xorshift64star) next() uint64 {
+	v := uint64(*x)
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	v ^= v >> 12
+	v ^= v << 25
+	v ^= v >> 27
+	*x = xorshift64star(v)
+	return v * 0x2545f4914f6cdd1d
+}
+
+// SyntheticTrace derives an n-record access stream from the seed. The
+// seed also picks the stream's character — footprint, write fraction,
+// hot-set size, burstiness, and how often the clock jumps far enough to
+// cross retention boundaries — so a handful of seeds covers migration
+// storms, refresh pressure, expiry, and MSHR merging.
+func SyntheticTrace(seed uint64, n int) []trace.Record {
+	rng := xorshift64star(seed)
+	rng.next()
+
+	lineBytes := uint64(256)
+	// Footprint from 32 lines (heavy conflict) to 16K lines (streaming).
+	footprint := uint64(32) << (rng.next() % 10)
+	// Write fraction 1/8 .. 7/8.
+	writeNum := 1 + rng.next()%7
+	// A small hot set absorbs a fraction of accesses, exercising the WWS
+	// monitor and migrations.
+	hotLines := 1 + rng.next()%16
+	hotNum := rng.next() % 8 // of 8
+	// Typical inter-access gap, occasionally stretched by a long jump
+	// whose magnitude is seed-chosen between 2^16 and 2^26 cycles: the
+	// low end crosses LR refresh boundaries (1ms ~ 7e5 cycles at
+	// 700MHz) after a few jumps, the high end crosses the HR retention
+	// window (40ms ~ 2.8e7 cycles) in one.
+	gapShift := rng.next() % 8 // mean gap 1..128 cycles
+	jumpDenom := uint64(64 + rng.next()%192)
+	jumpShift := 16 + rng.next()%11
+
+	records := make([]trace.Record, n)
+	now := int64(0)
+	for i := range records {
+		r := rng.next()
+		gap := int64((r>>32)&((1<<gapShift)-1)) + 1
+		if rng.next()%jumpDenom == 0 {
+			gap += int64(rng.next() % (1 << jumpShift))
+		}
+		now += gap
+
+		var line uint64
+		if rng.next()%8 < hotNum {
+			line = rng.next() % hotLines
+		} else {
+			line = rng.next() % footprint
+		}
+		records[i] = trace.Record{
+			Cycle: now,
+			Addr:  line * lineBytes,
+			Write: rng.next()%8 < writeNum,
+		}
+	}
+	return records
+}
+
+// Fuzz input limits: unbounded records or cycle spans would turn the
+// reference model's full scans into a timeout, not a finding.
+const (
+	maxFuzzRecords   = 4096
+	maxFuzzCycleSpan = int64(1) << 28
+)
+
+// DecodeFuzzTrace turns raw fuzzer bytes into an organization index and
+// a bounded, cycle-ordered record stream. The format is delta-encoded so
+// any byte string decodes to a valid trace: first byte picks the
+// organization, then each record is a uvarint cycle delta, a uvarint
+// line number, and a flag byte whose low bit is the write flag.
+func DecodeFuzzTrace(data []byte, orgs int) (org int, records []trace.Record) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	org = int(data[0]) % orgs
+	data = data[1:]
+
+	lineBytes := uint64(256)
+	now := int64(0)
+	for len(data) > 0 && len(records) < maxFuzzRecords {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 {
+			break
+		}
+		data = data[n:]
+		line, n := binary.Uvarint(data)
+		if n <= 0 {
+			break
+		}
+		data = data[n:]
+		if len(data) == 0 {
+			break
+		}
+		write := data[0]&1 != 0
+		data = data[1:]
+
+		now += int64(delta % uint64(maxFuzzCycleSpan/maxFuzzRecords))
+		if now > maxFuzzCycleSpan {
+			break
+		}
+		records = append(records, trace.Record{
+			Cycle: now,
+			Addr:  (line % (1 << 20)) * lineBytes,
+			Write: write,
+		})
+	}
+	return org, records
+}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 
@@ -47,7 +48,20 @@ type Options struct {
 	// bank refresh/expiry windows, swap-buffer overflow drains, DRAM
 	// writeback progress — as Chrome-trace events in simulated time.
 	Tracer *metrics.Tracer
+	// InvariantCheck, when non-nil, audits each bank's live state after
+	// every periodic retention tick and after the end-of-run drain. A
+	// returned error panics: a violated invariant means simulator state
+	// is already corrupt and any further results would be garbage.
+	// When nil, the package-level default installed by the test harness
+	// applies (nil outside tests — production runs pay nothing).
+	InvariantCheck func(bank int, b core.Bank, now int64) error
 }
+
+// defaultInvariantCheck is the fallback used when Options.InvariantCheck
+// is nil. The sim test harness points it at internal/refmodel's checker
+// so every existing golden and integration test audits bank state for
+// free; it stays nil in production builds.
+var defaultInvariantCheck func(bank int, b core.Bank, now int64) error
 
 // Simulator holds one configured GPU running one kernel.
 type Simulator struct {
@@ -66,6 +80,7 @@ type Simulator struct {
 	lineShift uint // log2(LineBytes); line sizes are powers of two
 	router    bankRouter
 	resident  int
+	check     func(bank int, b core.Bank, now int64) error
 
 	// Observability (see observe.go). reg is never nil after New; mReq
 	// and mLat are live handles even when it is disabled.
@@ -90,6 +105,10 @@ func New(cfg config.GPUConfig, spec workloads.Spec, opts Options) *Simulator {
 		reqNet:   interconnect.New(cfg.NumSMs, cfg.NumBanks, cfg.NoCStageCycles),
 		replyNet: interconnect.New(cfg.NumBanks, cfg.NumSMs, cfg.NoCStageCycles),
 		lineMask: uint64(cfg.LineBytes - 1),
+	}
+	s.check = opts.InvariantCheck
+	if s.check == nil {
+		s.check = defaultInvariantCheck
 	}
 	s.lineShift = uint(bits.TrailingZeros(uint(cfg.LineBytes)))
 	s.router = newBankRouter(cfg.NumBanks)
@@ -283,11 +302,12 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 	timers := engine.New(start)
 	for bi, b := range s.banks {
 		if p := b.TickPeriod(); p > 0 {
-			b := b
+			bi, b := bi, b
 			var tick engine.Func
 			if s.tracer == nil {
 				tick = func(at int64) {
 					b.Tick(at)
+					s.auditBank(bi, b, at)
 					timers.Schedule(at+p, tick)
 				}
 			} else {
@@ -297,6 +317,7 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 				bt := s.newBankTrace(bi, b)
 				tick = func(at int64) {
 					b.Tick(at)
+					s.auditBank(bi, b, at)
 					bt.emit(at)
 					timers.Schedule(at+p, tick)
 				}
@@ -491,6 +512,17 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 	return boundary, now
 }
 
+// auditBank runs the configured invariant check against one bank,
+// turning a violation into a panic at the cycle it was detected.
+func (s *Simulator) auditBank(bi int, b core.Bank, now int64) {
+	if s.check == nil {
+		return
+	}
+	if err := s.check(bi, b, now); err != nil {
+		panic(fmt.Sprintf("sim: bank %d invariant violated at cycle %d: %v", bi, now, err))
+	}
+}
+
 func (s *Simulator) finalize(now int64) Result {
 	r := Result{
 		Config:        s.cfg.Name,
@@ -519,9 +551,10 @@ func (s *Simulator) finalize(now int64) Result {
 	}
 	r.Seconds = float64(now) / s.cfg.ClockHz
 
-	for _, b := range s.banks {
+	for bi, b := range s.banks {
 		b.Tick(now)
 		b.Drain(now)
+		s.auditBank(bi, b, now)
 		mergeBankStats(&r.Bank, b.Stats())
 	}
 	r.Power = power.FromBanks(s.banks, r.Seconds)

@@ -166,6 +166,22 @@ func (r *Reader) Next() (Record, error) {
 	}, nil
 }
 
+// Validate checks that records form a replayable stream: cycles are
+// non-decreasing, the order every bank's Access contract requires and
+// the order the writer's delta encoding can represent. Harnesses that
+// accept records from outside a Reader (hand-built tests, fuzzers,
+// differential replays) should validate before replaying so a malformed
+// stream fails here instead of surfacing as a bogus model divergence.
+func Validate(records []Record) error {
+	for i := 1; i < len(records); i++ {
+		if records[i].Cycle < records[i-1].Cycle {
+			return fmt.Errorf("trace: record %d: cycle %d before previous %d",
+				i, records[i].Cycle, records[i-1].Cycle)
+		}
+	}
+	return nil
+}
+
 // ReadAll decodes every record.
 func ReadAll(rd io.Reader) ([]Record, error) {
 	r := NewReader(rd)

@@ -63,6 +63,20 @@ func TestWriterRejectsTimeTravel(t *testing.T) {
 	}
 }
 
+func TestValidate(t *testing.T) {
+	ok := []Record{{Cycle: 1}, {Cycle: 1}, {Cycle: 5}}
+	if err := Validate(ok); err != nil {
+		t.Errorf("valid stream rejected: %v", err)
+	}
+	if err := Validate(nil); err != nil {
+		t.Errorf("empty stream rejected: %v", err)
+	}
+	bad := []Record{{Cycle: 5}, {Cycle: 4}}
+	if err := Validate(bad); err == nil {
+		t.Error("decreasing cycle not detected")
+	}
+}
+
 func TestWriterCount(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
