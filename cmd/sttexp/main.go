@@ -17,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -56,10 +58,22 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress timing footers")
 		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		chart   = flag.Bool("chart", false, "render Figure 8 as ASCII bar charts")
+		timeout = flag.Duration("timeout", 0, "bound total wall time; on expiry (or Ctrl-C) skip remaining experiments (0 = none)")
 	)
 	flag.Parse()
 
-	p := experiments.Params{Scale: *scale, WarpsPerSM: *warps}
+	// Ctrl-C and -timeout cancel the sweep context: running simulations
+	// stop at their next periodic check, queued specs are skipped, and
+	// the experiments completed so far are still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	p := experiments.Params{Scale: *scale, WarpsPerSM: *warps, Context: ctx}
 	if *benches != "" {
 		p.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -73,6 +87,12 @@ func main() {
 	jsonOut := map[string]any{}
 	run := func(name string, fn func()) {
 		if !all && !want[name] {
+			return
+		}
+		if ctx.Err() != nil {
+			// Interrupted: skip the remaining experiments (delete so the
+			// unknown-name check below doesn't trip on skipped ones).
+			delete(want, name)
 			return
 		}
 		t0 := time.Now()
@@ -199,6 +219,9 @@ func main() {
 		}
 	})
 
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "sttexp: interrupted — partial results only")
+	}
 	if !all {
 		for name := range want {
 			fmt.Fprintf(os.Stderr, "sttexp: unknown experiment %q\n", name)

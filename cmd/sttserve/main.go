@@ -1,0 +1,86 @@
+// Command sttserve runs the simulation service: an HTTP/JSON daemon
+// that accepts GPU simulation requests, runs them on a bounded worker
+// pool, deduplicates and caches identical requests, and exposes
+// Prometheus metrics.
+//
+// Usage:
+//
+//	sttserve -addr :8080 -workers 4 -queue 32
+//
+// Quickstart:
+//
+//	curl -s -XPOST localhost:8080/v1/simulations \
+//	    -d '{"config":"C2","bench":"bfs"}'          # → {"id":"…","state":"queued"}
+//	curl -s localhost:8080/v1/simulations/<id>?wait=true
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM begin a graceful drain: intake stops, in-flight jobs
+// finish (up to -drain), then the process exits 0. Jobs still running
+// past the drain deadline are cancelled at their next periodic
+// cancellation check and the process exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sttllc/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "queued-job bound before 429s (0 = 16)")
+		cache      = flag.Int("cache", 0, "result-cache entries (0 = 256)")
+		defTimeout = flag.Duration("default-timeout", 0, "per-job wall-time bound when the request names none (0 = 5m, -1ns = unlimited)")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on request-supplied timeouts (0 = 30m)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sttserve: listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "sttserve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "sttserve: %v — draining (deadline %s)\n", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Order: service drain first flips readyz and refuses new jobs, the
+	// HTTP shutdown then waits for in-flight handlers (pollers with
+	// ?wait=true included, which resolve as the drain completes jobs).
+	drainErr := svc.Shutdown(ctx)
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "sttserve: http shutdown: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "sttserve: drain deadline exceeded; remaining jobs were cancelled\n")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "sttserve: drained cleanly")
+}

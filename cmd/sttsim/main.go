@@ -8,13 +8,21 @@
 //	sttsim -config C1 -app srad-pipeline    # multi-kernel application
 //	sttsim -config C2 -bench bfs -trace out.json     # Perfetto timeline
 //	sttsim -config C2 -bench bfs -stats-json -       # machine-readable stats
+//	sttsim -config C2 -bench bfs -timeout 30s        # bound wall time
 //	sttsim -list
+//
+// Ctrl-C (or an expired -timeout) stops the run at the simulator's next
+// periodic cancellation check; the partial result simulated so far is
+// still reported, flagged as partial on stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"sttllc/internal/config"
 	"sttllc/internal/experiments"
@@ -35,6 +43,7 @@ func main() {
 		list      = flag.Bool("list", false, "list configurations and benchmarks")
 		traceOut  = flag.String("trace", "", "write a Chrome-trace/Perfetto timeline of the run to this JSON file (load at ui.perfetto.dev)")
 		statsOut  = flag.String("stats-json", "", "write the sttllc-stats/v1 JSON dump to this file ('-' = stdout) instead of the text report")
+		timeout   = flag.Duration("timeout", 0, "bound wall time; on expiry (or Ctrl-C) report the partial result (0 = none)")
 	)
 	flag.Parse()
 
@@ -58,6 +67,17 @@ func main() {
 	if !ok {
 		fail("unknown configuration %q (try -list)", *cfgName)
 	}
+
+	// Ctrl-C and -timeout both cancel the run context; the simulator
+	// notices at its next periodic check and returns what it has.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := sim.Options{MaxCycles: *maxCycles}
 	if *traceOut != "" {
 		opts.Tracer = metrics.NewTracer(cfg.ClockHz)
@@ -78,7 +98,8 @@ func main() {
 				app.Kernels[i].WarpsPerSM = *warps
 			}
 		}
-		ar := sim.RunApp(cfg, app, opts)
+		ar, err := sim.RunAppContext(ctx, cfg, app, opts)
+		reportPartial(err)
 		writeTrace(*traceOut, opts.Tracer)
 		if *statsOut != "" {
 			writeStats(*statsOut, sim.DumpStats(ar.Final, opts.Metrics))
@@ -104,13 +125,28 @@ func main() {
 	}
 
 	opts.WarmupInstructions = *warmup
-	r := sim.RunOne(cfg, spec, opts)
+	r, err := sim.RunOneContext(ctx, cfg, spec, opts)
+	reportPartial(err)
 	writeTrace(*traceOut, opts.Tracer)
 	if *statsOut != "" {
 		writeStats(*statsOut, sim.DumpStats(r, opts.Metrics))
 		return
 	}
 	fmt.Print(experiments.RunResultString(r))
+}
+
+// reportPartial flags an interrupted run on stderr. The results that
+// follow on stdout cover only the cycles simulated before the stop.
+func reportPartial(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "sttsim: timeout expired — results below are PARTIAL")
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "sttsim: interrupted — results below are PARTIAL")
+	default:
+		fmt.Fprintf(os.Stderr, "sttsim: run stopped early (%v) — results below are PARTIAL\n", err)
+	}
 }
 
 // writeTrace serializes the run's timeline, if one was recorded.

@@ -1,0 +1,148 @@
+// Service: the simulation daemon end to end, in-process. Starts the
+// HTTP service on a loopback port, submits a simulation over plain
+// net/http, polls for the result, then resubmits the same request to
+// show the content-addressed cache answering instantly. Pass -load N to
+// also fire N concurrent duplicates and watch singleflight collapse
+// them into one run.
+//
+// Run with: go run ./examples/service [-load 8]
+//
+// Against a standalone daemon the same requests work verbatim:
+//
+//	go run ./cmd/sttserve -addr :8080 &
+//	curl -s -XPOST localhost:8080/v1/simulations?wait=true -d '{"config":"C2","bench":"bfs","scale":0.25}'
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"sttllc/internal/server"
+)
+
+func main() {
+	load := flag.Int("load", 0, "also fire N concurrent duplicate requests")
+	flag.Parse()
+
+	// An in-process daemon on an ephemeral loopback port; everything
+	// below talks to it over real HTTP.
+	svc := server.New(server.Config{Workers: 2, QueueDepth: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service listening on %s\n\n", base)
+
+	reqBody := `{"config":"C2","bench":"bfs","scale":0.25}`
+
+	// 1. Fire-and-forget submission: 202 + job ID.
+	var st jobStatus
+	code := post(base+"/v1/simulations", reqBody, &st)
+	fmt.Printf("POST /v1/simulations             → %d  id=%s state=%s\n", code, st.ID, st.State)
+
+	// 2. Blocking poll on the same job.
+	t0 := time.Now()
+	code = getJSON(base+"/v1/simulations/"+st.ID+"?wait=true", &st)
+	fmt.Printf("GET  /v1/simulations/{id}?wait   → %d  state=%s in %s\n", code, st.State, time.Since(t0).Round(time.Millisecond))
+	if st.Result != nil {
+		fmt.Printf("     cycles=%d IPC=%.3f L2hit=%.3f totalPower=%.3fW\n",
+			st.Result.Cycles, st.Result.IPC, st.Result.L2.HitRate, st.Result.Power.TotalW)
+	}
+
+	// 3. Identical request again: served from the result cache.
+	t0 = time.Now()
+	code = post(base+"/v1/simulations?wait=true", reqBody, &st)
+	fmt.Printf("POST same request again          → %d  state=%s cached=%v in %s\n\n",
+		code, st.State, st.Cached, time.Since(t0).Round(time.Millisecond))
+
+	if *load > 0 {
+		// Concurrent duplicates of a fresh request all join one run.
+		dup := `{"config":"C3","bench":"stencil","scale":0.25}`
+		var wg sync.WaitGroup
+		for i := 0; i < *load; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var s jobStatus
+				post(base+"/v1/simulations?wait=true", dup, &s)
+			}()
+		}
+		wg.Wait()
+		body, _ := io.ReadAll(must(http.Get(base + "/metrics")).Body)
+		fmt.Printf("after %d concurrent duplicates, /metrics reports:\n", *load)
+		for _, line := range bytes.Split(body, []byte("\n")) {
+			if bytes.Contains(line, []byte("jobs_completed")) ||
+				bytes.Contains(line, []byte("dedup_joins")) ||
+				bytes.Contains(line, []byte("cache_hits")) {
+				if !bytes.HasPrefix(line, []byte("#")) {
+					fmt.Printf("  %s\n", line)
+				}
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	svc.Shutdown(ctx)
+	hs.Shutdown(ctx)
+}
+
+// jobStatus mirrors the service's response shape (see server.JobStatus);
+// redeclared here the way an external client would write it.
+type jobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Result *struct {
+		Cycles int64   `json:"cycles"`
+		IPC    float64 `json:"ipc"`
+		L2     struct {
+			HitRate float64 `json:"hit_rate"`
+		} `json:"l2"`
+		Power struct {
+			TotalW float64 `json:"total_w"`
+		} `json:"power"`
+	} `json:"result,omitempty"`
+}
+
+func post(url, body string, out any) int {
+	resp := must(http.Post(url, "application/json", bytes.NewReader([]byte(body))))
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fail(err)
+	}
+	return resp.StatusCode
+}
+
+func getJSON(url string, out any) int {
+	resp := must(http.Get(url))
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fail(err)
+	}
+	return resp.StatusCode
+}
+
+func must(resp *http.Response, err error) *http.Response {
+	if err != nil {
+		fail(err)
+	}
+	return resp
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "service example: %v\n", err)
+	os.Exit(1)
+}

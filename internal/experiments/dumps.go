@@ -35,7 +35,7 @@ func StatsDumps(p Params, configs []string) []sim.StatsDump {
 			reg := metrics.NewRegistry(true)
 			opts := p.opts()
 			opts.Metrics = reg
-			res := sim.New(cfg, spec, opts).Run()
+			res, _ := sim.New(cfg, spec, opts).RunContext(p.ctx())
 			dumps[ci*nBench+i] = sim.DumpStats(res, reg)
 		})
 	}

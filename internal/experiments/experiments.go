@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -40,6 +41,20 @@ type Params struct {
 	// allows more than one evaluation at a time — stateless checkers
 	// like refmodel.CheckBank are.
 	InvariantCheck func(bank int, b core.Bank, now int64) error
+	// Context, when non-nil, bounds every run of the sweep: once it is
+	// cancelled, in-flight simulations stop at their next periodic
+	// cancellation check and queued specs are skipped entirely. Rows
+	// for interrupted or skipped runs are partial or zero — callers
+	// that honor Context should tell their users the sweep was cut
+	// short (sttexp does).
+	Context context.Context
+}
+
+func (p Params) ctx() context.Context {
+	if p.Context == nil {
+		return context.Background()
+	}
+	return p.Context
 }
 
 func (p Params) scale() float64 {
@@ -76,9 +91,11 @@ func (p Params) opts() sim.Options {
 	return sim.Options{MaxCycles: p.MaxCycles, InvariantCheck: p.InvariantCheck}
 }
 
-// run executes one configuration for one spec.
+// run executes one configuration for one spec. A cancelled Params
+// context yields a partial result (disclosed by the sweep's caller).
 func run(cfg config.GPUConfig, spec workloads.Spec, p Params) sim.Result {
-	return sim.RunOne(cfg, spec, p.opts())
+	r, _ := sim.RunOneContext(p.ctx(), cfg, spec, p.opts())
+	return r
 }
 
 // runPanic is a panic captured from one benchmark evaluation: which
@@ -98,27 +115,39 @@ func (rp *runPanic) Error() string {
 }
 
 // group is a hand-rolled errgroup: a bounded worker pool that runs
-// submitted tasks to completion and collects any panics instead of
-// letting one torn-down goroutine crash the process before sibling
-// runs finish. (The real errgroup module is an external dependency;
-// this is the subset the sweeps need.)
+// submitted tasks, collects any panics instead of letting one torn-down
+// goroutine crash the process before sibling runs finish, and — once a
+// task has panicked or the sweep's context is cancelled — skips every
+// task that has not started yet. In-flight siblings still run to
+// completion, so their deposited results are intact; only queued work
+// is shed. (The real errgroup module is an external dependency; this is
+// the subset the sweeps need.)
 type group struct {
-	sem    chan struct{}
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	panics []*runPanic
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	mu       sync.Mutex
+	panics   []*runPanic
 }
 
 func newGroup(workers int) *group {
 	if workers < 1 {
 		workers = 1
 	}
-	return &group{sem: make(chan struct{}, workers)}
+	return &group{sem: make(chan struct{}, workers), stop: make(chan struct{})}
+}
+
+// abort sheds the not-yet-started remainder of the sweep. Idempotent
+// and safe to call from any goroutine.
+func (g *group) abort() {
+	g.stopOnce.Do(func() { close(g.stop) })
 }
 
 // Go runs task on a worker slot, blocking the submitter while every
 // slot is busy. With one slot, tasks therefore run one at a time in
-// submission order — the serial path is the same code path.
+// submission order — the serial path is the same code path. A task
+// whose slot frees up after the group aborted is dropped unrun.
 func (g *group) Go(index int, spec string, task func()) {
 	g.sem <- struct{}{}
 	g.wg.Add(1)
@@ -130,11 +159,19 @@ func (g *group) Go(index int, spec string, task func()) {
 					Index: index, Spec: spec, Value: v, Stack: debug.Stack(),
 				})
 				g.mu.Unlock()
+				// A dead run poisons the sweep's results; don't burn
+				// cycles finishing the rest of the queue.
+				g.abort()
 			}
 			<-g.sem
 			g.wg.Done()
 		}()
-		task()
+		select {
+		case <-g.stop:
+			// Aborted while queued: skip.
+		default:
+			task()
+		}
 	}()
 }
 
@@ -157,8 +194,11 @@ func (g *group) Wait() {
 // result ordering never depends on completion order, which is why
 // Parallel=1 and Parallel=N render byte-identical report tables. The
 // per-benchmark work inside fn must not share mutable state across
-// indices. A panicking fn does not abort the sweep: every other run
-// completes, then the lowest-index panic is re-raised as a *runPanic.
+// indices. A panicking fn aborts the sweep: in-flight sibling runs
+// complete (their deposited results stay intact), specs that have not
+// started yet are skipped, then the lowest-index panic is re-raised as
+// a *runPanic. Cancelling p.Context sheds queued specs the same way,
+// without a panic.
 func forEachSpec(p Params, fn func(i int, spec workloads.Spec)) {
 	specs := p.specs()
 	workers := p.Parallel
@@ -169,6 +209,15 @@ func forEachSpec(p Params, fn func(i int, spec workloads.Spec)) {
 		workers = len(specs)
 	}
 	g := newGroup(workers)
+	if ctx := p.Context; ctx != nil {
+		if ctx.Err() != nil {
+			// Already cancelled: shed everything synchronously —
+			// AfterFunc alone would race the first submissions.
+			g.abort()
+		}
+		stop := context.AfterFunc(ctx, g.abort)
+		defer stop()
+	}
 	for i, spec := range specs {
 		i, spec := i, spec
 		g.Go(i, spec.Name, func() { fn(i, spec) })

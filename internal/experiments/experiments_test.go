@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -340,49 +341,139 @@ func TestForEachSpecClampsWorkersToSpecCount(t *testing.T) {
 }
 
 func TestForEachSpecPanicCapture(t *testing.T) {
-	for _, workers := range []int{1, 4} {
-		p := tiny("bfs", "hotspot", "nw", "stencil")
-		p.Parallel = workers
-		var mu sync.Mutex
-		completed := map[int]bool{}
-		func() {
-			defer func() {
-				v := recover()
-				if v == nil {
-					t.Fatalf("Parallel=%d: panic in fn did not propagate", workers)
-				}
-				rp, ok := v.(*runPanic)
-				if !ok {
-					t.Fatalf("Parallel=%d: recovered %T, want *runPanic", workers, v)
-				}
-				// Two runs panic (indices 1 and 2); the re-raise must be
-				// the lowest index, as a serial sweep would surface it.
-				if rp.Index != 1 || rp.Spec != "hotspot" {
-					t.Errorf("Parallel=%d: re-raised panic from %q index %d, want hotspot index 1",
-						workers, rp.Spec, rp.Index)
-				}
-				if rp.Value != "boom-1" {
-					t.Errorf("Parallel=%d: panic value = %v, want boom-1", workers, rp.Value)
-				}
-				if len(rp.Stack) == 0 {
-					t.Errorf("Parallel=%d: no stack captured", workers)
-				}
-				if msg := rp.Error(); !strings.Contains(msg, "hotspot") || !strings.Contains(msg, "boom-1") {
-					t.Errorf("Parallel=%d: Error() = %q missing spec or value", workers, msg)
-				}
-			}()
-			forEachSpec(p, func(i int, spec workloads.Spec) {
-				if i == 1 || i == 2 {
-					panic(fmt.Sprintf("boom-%d", i))
-				}
-				mu.Lock()
-				completed[i] = true
-				mu.Unlock()
-			})
+	// Serial sweep: index 0 completes before index 1 panics; indices 2
+	// and 3 are queued behind the panic and must be shed, not run (see
+	// TestForEachSpecAbortsQueuedAfterPanic for the dedicated guard).
+	p := tiny("bfs", "hotspot", "nw", "stencil")
+	p.Parallel = 1
+	var mu sync.Mutex
+	completed := map[int]bool{}
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("panic in fn did not propagate")
+			}
+			rp, ok := v.(*runPanic)
+			if !ok {
+				t.Fatalf("recovered %T, want *runPanic", v)
+			}
+			if rp.Index != 1 || rp.Spec != "hotspot" {
+				t.Errorf("re-raised panic from %q index %d, want hotspot index 1", rp.Spec, rp.Index)
+			}
+			if rp.Value != "boom-1" {
+				t.Errorf("panic value = %v, want boom-1", rp.Value)
+			}
+			if len(rp.Stack) == 0 {
+				t.Errorf("no stack captured")
+			}
+			if msg := rp.Error(); !strings.Contains(msg, "hotspot") || !strings.Contains(msg, "boom-1") {
+				t.Errorf("Error() = %q missing spec or value", msg)
+			}
 		}()
-		// Sibling runs must have completed despite the panics.
-		if !completed[0] || !completed[3] {
-			t.Errorf("Parallel=%d: surviving runs did not complete: %v", workers, completed)
-		}
+		forEachSpec(p, func(i int, spec workloads.Spec) {
+			if i == 1 {
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+			mu.Lock()
+			completed[i] = true
+			mu.Unlock()
+		})
+	}()
+	if !completed[0] {
+		t.Errorf("run before the panic did not complete: %v", completed)
+	}
+}
+
+func TestForEachSpecPanicCaptureParallel(t *testing.T) {
+	// Concurrent sweep: whichever panicking run is captured, the
+	// re-raise is the lowest-index capture, and in-flight siblings are
+	// never torn down mid-run (every fn entry records an exit).
+	p := tiny("bfs", "hotspot", "nw", "stencil")
+	p.Parallel = 4
+	var mu sync.Mutex
+	entered, exited := 0, 0
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("panic in fn did not propagate")
+			}
+			rp, ok := v.(*runPanic)
+			if !ok {
+				t.Fatalf("recovered %T, want *runPanic", v)
+			}
+			// Indices 1 and 2 panic; the abort may shed one of them
+			// before it starts, but the re-raise is always the lowest
+			// index that actually panicked.
+			if rp.Index != 1 && rp.Index != 2 {
+				t.Errorf("re-raised panic index %d, want 1 or 2", rp.Index)
+			}
+			if want := fmt.Sprintf("boom-%d", rp.Index); rp.Value != want {
+				t.Errorf("panic value = %v, want %s", rp.Value, want)
+			}
+		}()
+		forEachSpec(p, func(i int, spec workloads.Spec) {
+			mu.Lock()
+			entered++
+			mu.Unlock()
+			if i == 1 || i == 2 {
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+			mu.Lock()
+			exited++
+			mu.Unlock()
+		})
+	}()
+	mu.Lock()
+	defer mu.Unlock()
+	if panicked := entered - exited; panicked < 1 || panicked > 2 {
+		t.Errorf("entered=%d exited=%d: want exactly the panicking runs (1 or 2) unaccounted", entered, exited)
+	}
+}
+
+// TestForEachSpecAbortsQueuedAfterPanic is the failing-before guard for
+// the sweep-abort fix: with one worker, a panic at index 1 must shed the
+// queued indices 2..N instead of running the whole sweep to completion.
+func TestForEachSpecAbortsQueuedAfterPanic(t *testing.T) {
+	p := tiny("bfs", "hotspot", "nw", "stencil")
+	p.Parallel = 1
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	func() {
+		defer func() {
+			if v := recover(); v == nil {
+				t.Fatal("panic in fn did not propagate")
+			}
+		}()
+		forEachSpec(p, func(i int, spec workloads.Spec) {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			if i == 1 {
+				panic("boom")
+			}
+		})
+	}()
+	if !ran[0] || !ran[1] {
+		t.Errorf("runs before/at the panic missing: %v", ran)
+	}
+	if ran[2] || ran[3] {
+		t.Errorf("queued specs ran after the panic: %v (want indices 2 and 3 shed)", ran)
+	}
+}
+
+func TestForEachSpecContextCancelled(t *testing.T) {
+	// A context cancelled before the sweep starts sheds every spec
+	// without raising a panic.
+	p := tiny("bfs", "hotspot")
+	p.Parallel = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Context = ctx
+	ran := 0
+	forEachSpec(p, func(i int, spec workloads.Spec) { ran++ })
+	if ran != 0 {
+		t.Errorf("cancelled sweep ran %d specs, want 0", ran)
 	}
 }

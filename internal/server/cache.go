@@ -1,0 +1,59 @@
+package server
+
+import "container/list"
+
+// jobLRU is the bounded, content-addressed store of terminal jobs. A
+// successful job's entry IS the result cache: a later identical request
+// finds it by key and is answered without simulating. Failed and
+// cancelled jobs are kept too — so GET can report what happened to them
+// — but never satisfy a cache hit; a retry of the same request starts a
+// fresh run. Eviction is least-recently-used over both kinds. Not
+// goroutine-safe: the Server's mutex guards it alongside the in-flight
+// map it backstops.
+type jobLRU struct {
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key → element whose Value is *job
+}
+
+func newJobLRU(capacity int) *jobLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &jobLRU{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the terminal job stored under key, refreshing its
+// recency, or nil.
+func (c *jobLRU) get(key string) *job {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*job)
+}
+
+// put stores a terminal job under its ID, evicting the least recently
+// used entry beyond capacity. Re-putting a key (a retried request
+// reaching a different outcome) replaces the old record.
+func (c *jobLRU) put(j *job) {
+	if el, ok := c.entries[j.id]; ok {
+		el.Value = j
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[j.id] = c.order.PushFront(j)
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*job).id)
+	}
+}
+
+// len returns the number of cached terminal jobs.
+func (c *jobLRU) len() int { return c.order.Len() }

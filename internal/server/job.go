@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"sttllc/internal/config"
+	"sttllc/internal/metrics"
+	"sttllc/internal/sim"
+	"sttllc/internal/workloads"
+)
+
+// jobState is one job's position in its lifecycle. Transitions only
+// move forward: queued → running → one of the terminal states, or
+// queued → cancelled directly when a DELETE lands before a worker picks
+// the job up.
+type jobState int
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+	jobFailed
+	jobCancelled
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	case jobFailed:
+		return "failed"
+	case jobCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// job is one deduplicated simulation: every identical request submitted
+// while it is in flight shares it. All fields except done are guarded
+// by the Server's mutex; done is closed exactly once, under that mutex,
+// when the job reaches a terminal state.
+type job struct {
+	id  string // == SimulationRequest.Key()
+	req SimulationRequest
+
+	state  jobState
+	dump   *sim.StatsDump // set iff state == jobDone
+	errMsg string         // set for jobFailed/jobCancelled
+
+	done   chan struct{}
+	cancel context.CancelFunc // non-nil while running
+
+	// Interest accounting for client-disconnect cancellation. An async
+	// submission (fire-and-forget POST) pins the job: it must complete
+	// even with nobody connected. Synchronous interest is the count of
+	// live ?wait=true connections; when the last one disconnects and
+	// nothing pins the job, the run is cancelled to free its worker
+	// slot for requests somebody still wants.
+	asyncHold bool
+	waiters   int
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func (j *job) terminal() bool {
+	return j.state == jobDone || j.state == jobFailed || j.state == jobCancelled
+}
+
+// runSimulation executes one request exactly the way cmd/sttsim does —
+// same spec scaling, same option wiring, an enabled metrics registry —
+// so the resulting StatsDump is byte-identical to `sttsim -stats-json`
+// for the same parameters. Cancellation stops the run at the
+// simulator's next periodic check; the partial result is discarded
+// (partial dumps must never enter the cache).
+func runSimulation(ctx context.Context, req SimulationRequest) (*sim.StatsDump, error) {
+	cfg, ok := config.ByName(req.Config)
+	if !ok {
+		// validate() runs before enqueue; reaching this is a server bug.
+		panic("server: job with unknown config " + req.Config)
+	}
+	reg := metrics.NewRegistry(true)
+	opts := sim.Options{MaxCycles: req.MaxCycles, Metrics: reg}
+
+	if req.App != "" {
+		app, ok := workloads.AppByName(req.App)
+		if !ok {
+			panic("server: job with unknown application " + req.App)
+		}
+		for i := range app.Kernels {
+			if req.Scale > 0 && req.Scale != 1.0 {
+				app.Kernels[i] = app.Kernels[i].Scale(req.Scale)
+			}
+			if req.Warps > 0 {
+				app.Kernels[i].WarpsPerSM = req.Warps
+			}
+		}
+		ar, err := sim.RunAppContext(ctx, cfg, app, opts)
+		if err != nil {
+			return nil, err
+		}
+		d := sim.DumpStats(ar.Final, reg)
+		return &d, nil
+	}
+
+	spec, ok := workloads.ByName(req.Bench)
+	if !ok {
+		panic("server: job with unknown benchmark " + req.Bench)
+	}
+	if req.Scale > 0 && req.Scale != 1.0 {
+		spec = spec.Scale(req.Scale)
+	}
+	if req.Warps > 0 {
+		spec.WarpsPerSM = req.Warps
+	}
+	opts.WarmupInstructions = req.Warmup
+	r, err := sim.RunOneContext(ctx, cfg, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := sim.DumpStats(r, reg)
+	return &d, nil
+}

@@ -1,0 +1,74 @@
+// Prometheus text exposition for internal/metrics registries. The
+// registry stays scrape-format-agnostic (it is also behind the JSON
+// stats dumps and the Perfetto tracer); this file is the one place that
+// knows the text format: one `# TYPE` line per family, sanitized names,
+// histogram buckets re-emitted cumulatively with `le` labels.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sttllc/internal/metrics"
+)
+
+// promName sanitizes a registry metric name into a legal Prometheus
+// metric name: the namespace is prefixed and every character outside
+// [a-zA-Z0-9_:] becomes '_' ("sim.l2_requests" → "sttllc_sim_l2_requests").
+func promName(namespace, name string) string {
+	var b strings.Builder
+	b.Grow(len(namespace) + 1 + len(name))
+	b.WriteString(namespace)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every scalar and histogram of reg in the
+// Prometheus text exposition format, sorted by metric name so scrapes
+// are deterministic. Scalars whose name ends in "_total" are typed
+// counter, the rest gauge; registry histograms become native Prometheus
+// histograms (cumulative buckets, +Inf, _count). Snapshot-time callback
+// metrics are evaluated at write time.
+func WritePrometheus(w io.Writer, reg *metrics.Registry, namespace string) error {
+	samples := reg.Snapshot()
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	for _, s := range samples {
+		name := promName(namespace, s.Name)
+		typ := "gauge"
+		if strings.HasSuffix(name, "_total") {
+			typ = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, s.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range reg.Histograms() { // already sorted by name
+		name := promName(namespace, h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, edge := range h.Edges {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, edge, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Overflow
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n", name, cum, name, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

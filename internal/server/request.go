@@ -1,0 +1,113 @@
+// Request schema and canonicalization for the simulation service. A
+// SimulationRequest mirrors the knobs of `sttsim`: one configuration,
+// one benchmark or application, the scale/warps/cycle-budget overrides.
+// Requests are content-addressed — two requests asking for the same
+// simulation canonicalize to the same key regardless of JSON field
+// order, defaulted fields, or per-request timeouts — which is what the
+// result cache and the singleflight dedup key on.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"sttllc/internal/config"
+	"sttllc/internal/workloads"
+)
+
+// SimulationRequest is the body of POST /v1/simulations.
+type SimulationRequest struct {
+	// Config names a GPU configuration (baseline-SRAM, baseline-STT,
+	// C1, C2, C3).
+	Config string `json:"config"`
+	// Bench names one benchmark; App names one multi-kernel
+	// application. Exactly one of the two must be set.
+	Bench string `json:"bench,omitempty"`
+	App   string `json:"app,omitempty"`
+	// Scale multiplies per-warp instruction counts (0 or 1 = paper
+	// scale).
+	Scale float64 `json:"scale,omitempty"`
+	// Warps overrides warp jobs per SM (0 = benchmark default).
+	Warps int `json:"warps,omitempty"`
+	// MaxCycles aborts the run after this many cycles (0 = none).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Warmup runs this many instructions before statistics start
+	// (benchmarks only; 0 = none).
+	Warmup uint64 `json:"warmup,omitempty"`
+	// TimeoutMS bounds the run's wall time. It is an execution limit,
+	// not part of the simulation: it is excluded from the cache key,
+	// and the server clamps it to its configured maximum. 0 means the
+	// server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize maps every equivalent request onto one canonical form: the
+// defaulted scale spellings collapse (0, 1.0 → 1) and the execution
+// timeout — which cannot change a completed run's result — is dropped.
+func (r SimulationRequest) normalize() SimulationRequest {
+	if r.Scale <= 0 || r.Scale == 1.0 {
+		r.Scale = 1
+	}
+	if r.Warps < 0 {
+		r.Warps = 0
+	}
+	if r.App != "" {
+		// sttsim applies -warmup only to single-benchmark runs; mirror
+		// that so app results stay byte-identical to the CLI's.
+		r.Warmup = 0
+	}
+	r.TimeoutMS = 0
+	return r
+}
+
+// validate rejects requests that name unknown configurations or
+// workloads, or that name both (or neither) of bench and app.
+func (r SimulationRequest) validate() error {
+	if r.Config == "" {
+		return fmt.Errorf("missing config")
+	}
+	if _, ok := config.ByName(r.Config); !ok {
+		return fmt.Errorf("unknown config %q", r.Config)
+	}
+	switch {
+	case r.Bench == "" && r.App == "":
+		return fmt.Errorf("one of bench or app is required")
+	case r.Bench != "" && r.App != "":
+		return fmt.Errorf("bench and app are mutually exclusive")
+	case r.Bench != "":
+		if _, ok := workloads.ByName(r.Bench); !ok {
+			return fmt.Errorf("unknown benchmark %q", r.Bench)
+		}
+	default:
+		if _, ok := workloads.AppByName(r.App); !ok {
+			return fmt.Errorf("unknown application %q", r.App)
+		}
+	}
+	if r.Scale < 0 {
+		return fmt.Errorf("scale must be >= 0")
+	}
+	if r.MaxCycles < 0 {
+		return fmt.Errorf("max_cycles must be >= 0")
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	return nil
+}
+
+// Key returns the request's content address: the hex SHA-256 of the
+// canonical JSON encoding of the normalized request. Struct fields
+// marshal in declaration order, so the encoding — and therefore the
+// key — is deterministic. The key doubles as the job ID, which is what
+// makes identical requests observably converge on one job.
+func (r SimulationRequest) Key() string {
+	b, err := json.Marshal(r.normalize())
+	if err != nil {
+		// A struct of scalars cannot fail to marshal.
+		panic(fmt.Sprintf("server: canonicalizing request: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,572 @@
+// Package server turns the simulator into a long-running service: an
+// HTTP/JSON daemon that accepts simulation requests, runs them on a
+// bounded worker pool with admission control, deduplicates identical
+// in-flight requests onto one job, caches completed results by content
+// address, and exposes its own and the simulator's counters in
+// Prometheus text format.
+//
+//	POST   /v1/simulations        submit (202; ?wait=true blocks until done)
+//	GET    /v1/simulations/{id}   poll one job (?wait=true blocks)
+//	DELETE /v1/simulations/{id}   cancel a queued or running job
+//	GET    /v1/simulations        list known jobs
+//	GET    /metrics               Prometheus exposition
+//	GET    /healthz, /readyz      liveness / readiness (503 while draining)
+//
+// Results are the same sttllc-stats/v1 StatsDump that `sttsim
+// -stats-json` emits, byte for byte: the service is a caching,
+// cancellable front end over the exact CLI semantics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sttllc/internal/metrics"
+	"sttllc/internal/sim"
+)
+
+// Config tunes a Server. The zero value picks service defaults.
+type Config struct {
+	// Workers is the number of concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-started jobs;
+	// submissions beyond it are rejected with 429 (0 = 16).
+	QueueDepth int
+	// CacheEntries bounds the terminal-job LRU, which doubles as the
+	// result cache (0 = 256).
+	CacheEntries int
+	// DefaultTimeout bounds a job's wall time when the request names
+	// none (0 = 5m; negative = unlimited).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts (0 = 30m).
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	return c
+}
+
+// Server is one simulation service instance. Create with New; it is
+// ready (workers running) on return.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	reg *metrics.Registry
+
+	// runFn executes one job; tests substitute controllable stand-ins.
+	runFn func(ctx context.Context, req SimulationRequest) (*sim.StatsDump, error)
+
+	// Scrape-safe counters: workers add with atomics, the registry
+	// reads through Load closures, so /metrics never races a job.
+	submitted    atomic.Uint64
+	completed    atomic.Uint64
+	failed       atomic.Uint64
+	cancelledN   atomic.Uint64
+	rejected     atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	dedupJoins   atomic.Uint64
+	simCycles    atomic.Uint64
+	simInstr     atomic.Uint64
+	running      atomic.Int64
+	drainingFlag atomic.Bool
+
+	mu       sync.Mutex
+	inflight map[string]*job // queued or running, by id
+	finished *jobLRU         // terminal, by id; doubles as result cache
+	queue    chan *job
+	wg       sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      metrics.NewRegistry(true),
+		runFn:    runSimulation,
+		inflight: make(map[string]*job),
+		finished: newJobLRU(cfg.CacheEntries),
+		queue:    make(chan *job, cfg.QueueDepth),
+	}
+	s.registerMetrics()
+	s.routes()
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the server's registry (own counters plus aggregates
+// over completed simulations) — the same registry /metrics exposes.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.RegisterFunc("server.jobs_submitted_total", s.submitted.Load)
+	r.RegisterFunc("server.jobs_completed_total", s.completed.Load)
+	r.RegisterFunc("server.jobs_failed_total", s.failed.Load)
+	r.RegisterFunc("server.jobs_cancelled_total", s.cancelledN.Load)
+	r.RegisterFunc("server.jobs_rejected_total", s.rejected.Load)
+	r.RegisterFunc("server.cache_hits_total", s.cacheHits.Load)
+	r.RegisterFunc("server.cache_misses_total", s.cacheMisses.Load)
+	r.RegisterFunc("server.dedup_joins_total", s.dedupJoins.Load)
+	r.RegisterFunc("server.sim_cycles_total", s.simCycles.Load)
+	r.RegisterFunc("server.sim_instructions_total", s.simInstr.Load)
+	r.RegisterFunc("server.jobs_running", func() uint64 {
+		if n := s.running.Load(); n > 0 {
+			return uint64(n)
+		}
+		return 0
+	})
+	r.RegisterFunc("server.queue_depth", func() uint64 { return uint64(len(s.queue)) })
+	r.RegisterFunc("server.jobs_cached", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(s.finished.len())
+	})
+}
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulations", s.handleSubmit)
+	mux.HandleFunc("GET /v1/simulations", s.handleList)
+	mux.HandleFunc("GET /v1/simulations/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/simulations/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.drainingFlag.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	s.mux = mux
+}
+
+// Handler returns the service's HTTP handler, for mounting on any
+// http.Server (or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// JobStatus is the wire form of one job, returned by every endpoint.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Cached marks a response answered from the result cache rather
+	// than a run performed for this request.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// QueueMS and RunMS time the job's life; zero until the respective
+	// phase ends.
+	QueueMS int64          `json:"queue_ms,omitempty"`
+	RunMS   int64          `json:"run_ms,omitempty"`
+	Result  *sim.StatsDump `json:"result,omitempty"`
+}
+
+// statusLocked snapshots j; the caller holds s.mu.
+func statusLocked(j *job, cached bool) JobStatus {
+	st := JobStatus{ID: j.id, State: j.state.String(), Cached: cached, Error: j.errMsg}
+	if !j.started.IsZero() {
+		st.QueueMS = j.started.Sub(j.submitted).Milliseconds()
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		st.RunMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	if j.state == jobDone {
+		st.Result = j.dump
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies; simulation requests are a few
+// hundred bytes of scalars.
+const maxBodyBytes = 1 << 20
+
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SimulationRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	req = req.normalize()
+	wait := wantWait(r)
+	id := req.Key()
+
+	s.mu.Lock()
+	if j := s.inflight[id]; j != nil {
+		// Singleflight: an identical request is already queued or
+		// running — join it instead of simulating twice.
+		s.dedupJoins.Add(1)
+		if !wait {
+			j.asyncHold = true
+			st := statusLocked(j, false)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		s.waitLocked(w, r, j)
+		return
+	}
+	if j := s.finished.get(id); j != nil && j.state == jobDone {
+		// Content-addressed cache hit: same canonical request, answer
+		// from the stored dump without running anything.
+		s.cacheHits.Add(1)
+		st := statusLocked(j, true)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	if s.drainingFlag.Load() {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	j := &job{
+		id:        id,
+		req:       req,
+		state:     jobQueued,
+		done:      make(chan struct{}),
+		asyncHold: !wait,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+		s.inflight[id] = j
+		s.submitted.Add(1)
+		s.cacheMisses.Add(1)
+	default:
+		// Admission control: the queue is full. Reject now rather than
+		// letting latency grow without bound; the hint scales with the
+		// backlog a retrying client is behind.
+		s.rejected.Add(1)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", 1+len(s.queue)/s.cfg.Workers))
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueDepth)
+		return
+	}
+	if !wait {
+		st := statusLocked(j, false)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	s.waitLocked(w, r, j)
+}
+
+// waitLocked blocks until j reaches a terminal state or the client
+// disconnects, then writes the outcome. Entered holding s.mu; releases
+// it. A disconnecting waiter that was the job's last live interest
+// cancels the job — its worker slot goes back to requests somebody
+// still wants.
+func (s *Server) waitLocked(w http.ResponseWriter, r *http.Request, j *job) {
+	j.waiters++
+	done := j.done
+	s.mu.Unlock()
+	select {
+	case <-done:
+		s.mu.Lock()
+		j.waiters--
+		st := statusLocked(j, false)
+		s.mu.Unlock()
+		code := http.StatusOK
+		if j.state != jobDone {
+			code = statusForTerminal(j.state)
+		}
+		writeJSON(w, code, st)
+	case <-r.Context().Done():
+		s.mu.Lock()
+		j.waiters--
+		abandoned := j.waiters == 0 && !j.asyncHold && !j.terminal()
+		s.mu.Unlock()
+		if abandoned {
+			s.cancelJob(j.id)
+		}
+	}
+}
+
+func statusForTerminal(st jobState) int {
+	switch st {
+	case jobCancelled:
+		return http.StatusConflict
+	case jobFailed:
+		return http.StatusInternalServerError
+	}
+	return http.StatusOK
+}
+
+func (s *Server) lookup(id string) *job {
+	if j := s.inflight[id]; j != nil {
+		return j
+	}
+	return s.finished.get(id)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.lookup(id)
+	if j == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if wantWait(r) && !j.terminal() {
+		s.waitLocked(w, r, j)
+		return
+	}
+	st := statusLocked(j, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.lookup(id)
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.cancelJob(id)
+	s.mu.Lock()
+	st := statusLocked(j, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.inflight)+s.finished.len())
+	for _, j := range s.inflight {
+		st := statusLocked(j, false)
+		st.Result = nil // index view: states only
+		out = append(out, st)
+	}
+	for _, el := range s.finished.entries {
+		st := statusLocked(el.Value.(*job), false)
+		st.Result = nil
+		out = append(out, st)
+	}
+	s.mu.Unlock()
+	// Deterministic order for clients and tests.
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, s.reg, "sttllc")
+}
+
+// cancelJob cancels the identified job: a queued job is finalized
+// immediately (its worker never picks it up), a running one has its
+// context cancelled and is finalized by its worker at the simulator's
+// next periodic check. Terminal jobs are left as they are.
+func (s *Server) cancelJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.inflight[id]
+	if j == nil {
+		return
+	}
+	switch j.state {
+	case jobQueued:
+		j.state = jobCancelled
+		j.errMsg = "cancelled before start"
+		j.finished = time.Now()
+		delete(s.inflight, id)
+		s.finished.put(j)
+		s.cancelledN.Add(1)
+		close(j.done)
+	case jobRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// effectiveTimeout resolves a request's wall-time bound against the
+// server's default and cap.
+func (s *Server) effectiveTimeout(req SimulationRequest) time.Duration {
+	if req.TimeoutMS > 0 {
+		to := time.Duration(req.TimeoutMS) * time.Millisecond
+		if to > s.cfg.MaxTimeout {
+			to = s.cfg.MaxTimeout
+		}
+		return to
+	}
+	if s.cfg.DefaultTimeout < 0 {
+		return 0
+	}
+	return s.cfg.DefaultTimeout
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != jobQueued {
+		// Cancelled while queued; already finalized.
+		s.mu.Unlock()
+		return
+	}
+	j.state = jobRunning
+	j.started = time.Now()
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if to := s.effectiveTimeout(j.req); to > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), to)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j.cancel = cancel
+	s.mu.Unlock()
+
+	s.running.Add(1)
+	dump, err := s.runGuarded(ctx, j.req)
+	s.running.Add(-1)
+	cancel()
+
+	s.mu.Lock()
+	delete(s.inflight, j.id)
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = jobDone
+		j.dump = dump
+		s.completed.Add(1)
+		if dump.Cycles > 0 {
+			s.simCycles.Add(uint64(dump.Cycles))
+		}
+		s.simInstr.Add(dump.Instructions)
+	case errors.Is(err, context.Canceled):
+		// Partial results never enter the cache; the job record does,
+		// so pollers learn its fate.
+		j.state = jobCancelled
+		j.errMsg = "cancelled"
+		s.cancelledN.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = jobFailed
+		j.errMsg = "deadline exceeded"
+		s.failed.Add(1)
+	default:
+		j.state = jobFailed
+		j.errMsg = err.Error()
+		s.failed.Add(1)
+	}
+	s.finished.put(j)
+	close(j.done)
+	s.mu.Unlock()
+}
+
+// runGuarded shields the worker pool from a panicking simulation (a
+// violated invariant panics by design): the job fails, the worker and
+// the daemon live on.
+func (s *Server) runGuarded(ctx context.Context, req SimulationRequest) (dump *sim.StatsDump, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			dump, err = nil, fmt.Errorf("simulation panicked: %v", v)
+		}
+	}()
+	return s.runFn(ctx, req)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.drainingFlag.Load() }
+
+// Shutdown drains the service: intake stops (submissions get 503,
+// readyz flips), queued and running jobs run to completion, workers
+// exit. If ctx expires first, every remaining job is cancelled — they
+// stop at the simulator's next periodic check — the drain completes,
+// and ctx's error is returned to signal the unclean (but still orderly)
+// exit. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.drainingFlag.Swap(true) {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, j := range s.inflight {
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -81,6 +82,14 @@ type Simulator struct {
 	router    bankRouter
 	resident  int
 	check     func(bank int, b core.Bank, now int64) error
+
+	// Cancellation state (see RunContext). ctx is nil for plain Run
+	// calls — the drive loop then schedules no poll event and pays
+	// nothing. cancelled latches once a poll observes ctx.Err() != nil;
+	// it is never reset, so a multi-kernel application stops launching
+	// kernels after the first cancelled drive.
+	ctx       context.Context
+	cancelled bool
 
 	// Observability (see observe.go). reg is never nil after New; mReq
 	// and mLat are live handles even when it is disabled.
@@ -220,6 +229,19 @@ type Result struct {
 
 // Run executes the kernel to completion and returns the result.
 func (s *Simulator) Run() Result {
+	r, _ := s.RunContext(context.Background())
+	return r
+}
+
+// RunContext executes the kernel like Run, but stops early — at the next
+// periodic cancellation check, which rides the bank-tick timeline so the
+// per-event hot path is untouched — when ctx is cancelled or its
+// deadline passes. On cancellation it returns the statistics accumulated
+// so far (a partial but internally consistent Result) together with
+// ctx's error; a completed run returns a nil error even if ctx was
+// cancelled just after the last cycle.
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
+	s.ctx = ctx
 	start, end := s.drive(0, s.opts.WarmupInstructions)
 	if s.tracer != nil {
 		s.tracer.Complete(kernelTID, s.spec.Name, 0, end, nil)
@@ -239,7 +261,10 @@ func (s *Simulator) Run() Result {
 		r.DynamicPowerW = r.Power.DynamicW()
 		r.TotalPowerW = r.Power.TotalW()
 	}
-	return r
+	if s.cancelled {
+		return r, ctx.Err()
+	}
+	return r, nil
 }
 
 // peekOr returns the engine's earliest event time, or MaxInt64 when it
@@ -298,6 +323,11 @@ type smActor struct {
 // same timeline — once the budget is spent, statistics reset in place
 // and the run continues — rather than a separate stepping loop.
 func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64) {
+	if s.cancellable() && s.ctx.Err() != nil {
+		// Cancelled before the first cycle: nothing ran, nothing to settle.
+		s.cancelled = true
+		return start, start
+	}
 	eng := engine.New(start)
 	timers := engine.New(start)
 	for bi, b := range s.banks {
@@ -324,6 +354,31 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			}
 			timers.Schedule(start+p, tick)
 		}
+	}
+	// pollSched/pollFired count the cancellation poll's own events so
+	// they can be subtracted from the engine totals below: the poll is
+	// scaffolding, and a cancellable run that completes must publish
+	// counters byte-identical to a plain Run of the same workload.
+	var pollSched, pollFired uint64
+	if s.cancellable() {
+		// Cancellation poll: one self-rearming event on the timer
+		// timeline, at the banks' retention-tick cadence, so the check is
+		// a periodic channel-free ctx.Err() read — never a per-event (let
+		// alone per-cycle) cost. Once it trips it stops re-arming and the
+		// visit loop below breaks at its next timer advance.
+		p := s.cancelPollPeriod()
+		var poll engine.Func
+		poll = func(at int64) {
+			pollFired++
+			if s.ctx.Err() != nil {
+				s.cancelled = true
+				return
+			}
+			pollSched++
+			timers.Schedule(at+p, poll)
+		}
+		pollSched++
+		timers.Schedule(start+p, poll)
 	}
 	nextTick := peekOr(timers)
 
@@ -392,6 +447,9 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 		}
 		if now >= nextTick {
 			nextTick = advanceOr(timers, now)
+			if s.cancelled {
+				break
+			}
 		}
 		if now >= nextEvent {
 			// Due wakes OR their actor's bit into woken.
@@ -507,9 +565,37 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			a.sm.AccrueStoreStalls(gap)
 		}
 	}
-	s.engSched += eng.ScheduledTotal() + timers.ScheduledTotal()
-	s.engFired += eng.FiredTotal() + timers.FiredTotal()
+	s.engSched += eng.ScheduledTotal() + timers.ScheduledTotal() - pollSched
+	s.engFired += eng.FiredTotal() + timers.FiredTotal() - pollFired
 	return boundary, now
+}
+
+// cancellable reports whether this run carries a context that can
+// actually be cancelled. context.Background and TODO have a nil Done
+// channel; runs under them schedule no poll event at all, so Run and
+// RunContext(context.Background()) execute the identical event sequence.
+func (s *Simulator) cancellable() bool {
+	return s.ctx != nil && s.ctx.Done() != nil
+}
+
+// defaultCancelPollCycles paces the cancellation poll when no bank has
+// periodic bookkeeping (SRAM baselines): at 700MHz this is a check
+// roughly every 94µs of simulated time.
+const defaultCancelPollCycles = 65536
+
+// cancelPollPeriod is the cancellation-check cadence: the fastest bank
+// retention tick, or defaultCancelPollCycles when no bank ticks.
+func (s *Simulator) cancelPollPeriod() int64 {
+	p := int64(0)
+	for _, b := range s.banks {
+		if tp := b.TickPeriod(); tp > 0 && (p == 0 || tp < p) {
+			p = tp
+		}
+	}
+	if p == 0 {
+		p = defaultCancelPollCycles
+	}
+	return p
 }
 
 // auditBank runs the configured invariant check against one bank,
@@ -610,6 +696,14 @@ func RunOne(cfg config.GPUConfig, spec workloads.Spec, opts Options) Result {
 	return New(cfg, spec, opts).Run()
 }
 
+// RunOneContext is RunOne with cancellation: the run stops at the next
+// periodic cancellation check once ctx is done, returning the partial
+// Result alongside ctx's error. A run that completes before ctx is
+// cancelled returns a nil error.
+func RunOneContext(ctx context.Context, cfg config.GPUConfig, spec workloads.Spec, opts Options) (Result, error) {
+	return New(cfg, spec, opts).RunContext(ctx)
+}
+
 // Replay drives a recorded L2 access stream through freshly built banks
 // of the given configuration, reproducing the routing and timing the
 // live simulator would apply. It enables offline cache studies: capture
@@ -671,10 +765,21 @@ func (s *Simulator) bankTotals() (accesses, hits uint64) {
 // back-to-back on the same memory system, so the L2 contents written by
 // one kernel are visible to the next.
 func RunApp(cfg config.GPUConfig, app workloads.App, opts Options) AppResult {
+	ar, _ := RunAppContext(context.Background(), cfg, app, opts)
+	return ar
+}
+
+// RunAppContext is RunApp with cancellation: a cancelled ctx stops the
+// in-flight kernel at its next periodic cancellation check and launches
+// no further kernels. The returned AppResult covers everything that ran
+// (the interrupted kernel's row included, partially filled); the error
+// is ctx's error, or nil if every kernel completed.
+func RunAppContext(ctx context.Context, cfg config.GPUConfig, app workloads.App, opts Options) (AppResult, error) {
 	if len(app.Kernels) == 0 {
 		panic("sim: application has no kernels")
 	}
 	s := New(cfg, app.Kernels[0], opts)
+	s.ctx = ctx
 	ar := AppResult{App: app.Name, Config: cfg.Name}
 	now := int64(0)
 	for ki, spec := range app.Kernels {
@@ -707,6 +812,9 @@ func RunApp(cfg config.GPUConfig, app workloads.App, opts Options) AppResult {
 		ar.Kernels = append(ar.Kernels, kr)
 		ar.Instructions += instr
 		now = end
+		if s.cancelled {
+			break
+		}
 	}
 	ar.Cycles = now
 	if now > 0 {
@@ -718,5 +826,8 @@ func RunApp(cfg config.GPUConfig, app workloads.App, opts Options) AppResult {
 	// kernel's SMs; patch in the application totals.
 	ar.Final.Instructions = ar.Instructions
 	ar.Final.IPC = ar.IPC
-	return ar
+	if s.cancelled {
+		return ar, ctx.Err()
+	}
+	return ar, nil
 }
