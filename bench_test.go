@@ -192,6 +192,26 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 }
 
+// BenchmarkSimulatorThroughputL3 is the same measurement on the
+// two-tier C2-L3 stack, so the cost of hierarchy chaining is tracked
+// next to the single-tier row (which is the one CI gates).
+func BenchmarkSimulatorThroughputL3(b *testing.B) {
+	spec, _ := workloads.ByName("bfs")
+	spec = spec.Scale(0.05)
+	spec.WarpsPerSM = 6
+	cfg, ok := config.ByName("C2-L3")
+	if !ok {
+		b.Fatal("C2-L3 configuration missing")
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		r := sim.RunOne(cfg, spec, sim.Options{})
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
 func BenchmarkWearLeveling(b *testing.B) {
 	p := benchParams("bfs")
 	b.ResetTimer()

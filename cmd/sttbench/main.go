@@ -78,6 +78,15 @@ func suite() []struct {
 			cfg := config.C1()
 			sim.RunOne(cfg, spec, sim.Options{Metrics: metrics.NewRegistry(true)})
 		}},
+		// Two-tier stack: not in committed baselines yet, so the -check
+		// gate skips it automatically (only baseline-matched rows gate).
+		{"SimulatorThroughputL3", func() {
+			spec, _ := workloads.ByName("bfs")
+			spec = spec.Scale(0.05)
+			spec.WarpsPerSM = 6
+			cfg, _ := config.ByName("C2-L3")
+			sim.RunOne(cfg, spec, sim.Options{})
+		}},
 		{"WearLeveling", func() { experiments.WearLeveling(benchParams("bfs")) }},
 	}
 }

@@ -59,6 +59,7 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		chart   = flag.Bool("chart", false, "render Figure 8 as ASCII bar charts")
 		timeout = flag.Duration("timeout", 0, "bound total wall time; on expiry (or Ctrl-C) skip remaining experiments (0 = none)")
+		withL3  = flag.Bool("l3", false, "include the stacked-L3 configurations (C1-L3, C2-L3) in the runs sweep")
 	)
 	flag.Parse()
 
@@ -210,12 +211,25 @@ func main() {
 		text(experiments.FormatWearLeveling(rows))
 	})
 	run("runs", func() {
-		dumps := experiments.StatsDumps(p, nil)
+		var names []string
+		if *withL3 {
+			for _, g := range config.Extended() {
+				names = append(names, g.Name)
+			}
+		}
+		dumps := experiments.StatsDumps(p, names)
 		data("runs", dumps)
 		for _, d := range dumps {
-			text(fmt.Sprintf("%-14s %-14s cycles=%-10d IPC=%-8.4f L2hit=%-6.3f LRhit=%-6.3f migr=%d refresh=%d overflow=%d\n",
+			line := fmt.Sprintf("%-14s %-14s cycles=%-10d IPC=%-8.4f L2hit=%-6.3f LRhit=%-6.3f migr=%d refresh=%d overflow=%d",
 				d.Config, d.Benchmark, d.Cycles, d.IPC, d.L2.HitRate, d.L2.LRHitRate,
-				d.L2.MigrationsToLR, d.L2.Refreshes, d.L2.SwapBufferOverflows))
+				d.L2.MigrationsToLR, d.L2.Refreshes, d.L2.SwapBufferOverflows)
+			// Multi-tier dumps append each lower level's service rate.
+			for _, t := range d.Tiers {
+				if t.Level != "l2" {
+					line += fmt.Sprintf(" %shit=%.3f", t.Level, t.HitRate)
+				}
+			}
+			text(line + "\n")
 		}
 	})
 

@@ -44,12 +44,15 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome-trace/Perfetto timeline of the run to this JSON file (load at ui.perfetto.dev)")
 		statsOut  = flag.String("stats-json", "", "write the sttllc-stats/v1 JSON dump to this file ('-' = stdout) instead of the text report")
 		timeout   = flag.Duration("timeout", 0, "bound wall time; on expiry (or Ctrl-C) report the partial result (0 = none)")
+		l3KB      = flag.Int("l3", 0, "stack an STT-MRAM L3 of this many KB (total across banks) behind the L2 (0 = none)")
+		l3Ways    = flag.Int("l3ways", 0, "L3 associativity (0 = default 8; needs -l3)")
+		l3Variant = flag.String("l3variant", "read-tuned", "L3 cell flavor: read-tuned or write-tuned (needs -l3)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("configurations:")
-		for _, g := range config.All() {
+		for _, g := range config.Extended() {
 			fmt.Printf("  %-14s %s\n", g.Name, g.Description)
 		}
 		fmt.Println("benchmarks:")
@@ -66,6 +69,12 @@ func main() {
 	cfg, ok := config.ByName(*cfgName)
 	if !ok {
 		fail("unknown configuration %q (try -list)", *cfgName)
+	}
+	if *l3KB > 0 {
+		cfg = config.WithL3(cfg, *l3KB<<10, *l3Ways, config.CellVariant(*l3Variant))
+	}
+	if err := cfg.Validate(); err != nil {
+		fail("%v", err)
 	}
 
 	// Ctrl-C and -timeout both cancel the run context; the simulator

@@ -17,7 +17,6 @@ import (
 	"sttllc/internal/core"
 	"sttllc/internal/dram"
 	"sttllc/internal/gpu"
-	"sttllc/internal/sttram"
 )
 
 // L2Kind selects the bank organization.
@@ -87,6 +86,12 @@ type GPUConfig struct {
 	// DetailedNoC swaps the port-level request network for the
 	// flit-level butterfly with per-link contention.
 	DetailedNoC bool
+	// L3 optionally stacks an STT-MRAM tier between the L2 banks and
+	// DRAM (the zero value keeps the paper's two-level hierarchy).
+	L3 L3Spec
+	// DRAM configures each bank's private memory channel (zero fields
+	// take the paper's defaults).
+	DRAM DRAMSpec
 }
 
 // Baseline hardware constants (Table 2).
@@ -190,9 +195,10 @@ func All() []GPUConfig {
 	return []GPUConfig{BaselineSRAM(), BaselineSTT(), C1(), C2(), C3()}
 }
 
-// ByName returns the named configuration.
+// ByName returns the named configuration, searching the extended set
+// (the paper's five plus the stacked-L3 variants).
 func ByName(name string) (GPUConfig, bool) {
-	for _, g := range All() {
+	for _, g := range Extended() {
 		if g.Name == name {
 			return g, true
 		}
@@ -200,59 +206,28 @@ func ByName(name string) (GPUConfig, bool) {
 	return GPUConfig{}, false
 }
 
-// NewBank constructs one L2 bank of this configuration backed by mc.
+// NewBank compiles the hierarchy and returns the top tier of one bank's
+// chain (the L2 the interconnect talks to); lower tiers are reachable
+// through the Backing links. Retained for single-bank tools and the
+// differential harness; the simulator builds chains via NewTiers.
+// Panics on an invalid hierarchy — Validate reports errors instead.
 func (g GPUConfig) NewBank(mc *dram.Controller) core.Bank {
-	switch g.L2.Kind {
-	case L2SRAM:
-		return core.NewUniformBank(core.UniformConfig{
-			CapacityBytes: g.L2.TotalBytes / g.NumBanks,
-			Ways:          g.L2.Ways,
-			LineBytes:     g.LineBytes,
-			Cell:          sttram.SRAMCell(),
-			ClockHz:       g.ClockHz,
-			Replacement:   g.L2.Replacement,
-		}, mc)
-	case L2STTUniform:
-		return core.NewUniformBank(core.UniformConfig{
-			CapacityBytes: g.L2.TotalBytes / g.NumBanks,
-			Ways:          g.L2.Ways,
-			LineBytes:     g.LineBytes,
-			Cell:          sttram.ArchivalCell(),
-			ClockHz:       g.ClockHz,
-			Replacement:   g.L2.Replacement,
-		}, mc)
-	case L2TwoPart:
-		lrCell := sttram.LRCell()
-		if g.L2.LRRetention > 0 {
-			lrCell = sttram.NewCell(fmt.Sprintf("STT-%v", g.L2.LRRetention), g.L2.LRRetention)
-		}
-		if g.L2.SRAMLR {
-			lrCell = sttram.SRAMCell()
-		}
-		return core.NewTwoPartBank(core.TwoPartConfig{
-			LRBytes:           g.L2.LRBytes / g.NumBanks,
-			LRWays:            g.L2.LRWays,
-			LRCell:            lrCell,
-			HRBytes:           g.L2.HRBytes / g.NumBanks,
-			HRWays:            g.L2.HRWays,
-			HRCell:            sttram.HRCell(),
-			LineBytes:         g.LineBytes,
-			ClockHz:           g.ClockHz,
-			WriteThreshold:    g.L2.WriteThreshold,
-			AdaptiveThreshold: g.L2.AdaptiveThreshold,
-			BufferBlocks:      g.L2.BufferBlocks,
-			ParallelSearch:    g.L2.ParallelSearch,
-			DisableMigration:  g.L2.DisableMigration,
-			Replacement:       g.L2.Replacement,
-		}, mc)
-	default:
-		panic(fmt.Sprintf("config: unknown L2 kind %d", g.L2.Kind))
+	tiers, err := g.NewTiers(mc)
+	if err != nil {
+		panic(err)
 	}
+	return tiers[0]
 }
 
-// NewDRAM constructs one bank's memory controller.
+// NewDRAM constructs one bank's memory controller from the DRAM spec
+// (the zero spec reproduces the paper's 8-bank, 2KB-row channel).
 func (g GPUConfig) NewDRAM() *dram.Controller {
-	return dram.New(8, 2048, dram.DefaultTiming())
+	d := g.DRAM.withDefaults()
+	return dram.New(d.Banks, d.RowBytes, dram.Timing{
+		RowHitLatency:  d.RowHitLatency,
+		RowMissLatency: d.RowMissLatency,
+		BurstGap:       d.BurstGap,
+	})
 }
 
 // Table2Row is one row of the reproduced Table 2.

@@ -1,0 +1,211 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"sttllc/internal/core"
+)
+
+func TestExtendedNamesRoundTrip(t *testing.T) {
+	ext := Extended()
+	if len(ext) != 7 {
+		t.Fatalf("Extended() = %d configs, want 7 (paper's 5 + 2 stacked)", len(ext))
+	}
+	for _, g := range ext {
+		got, ok := ByName(g.Name)
+		if !ok {
+			t.Errorf("ByName(%q) failed for an Extended() config", g.Name)
+			continue
+		}
+		if got.Name != g.Name || got.L3 != g.L3 {
+			t.Errorf("ByName(%q) round-trip mismatch: %+v", g.Name, got)
+		}
+	}
+	if _, ok := ByName("C1-L4"); ok {
+		t.Error("unknown stacked name should not resolve")
+	}
+}
+
+func TestHierarchyTwoLevelConfigs(t *testing.T) {
+	// The paper's five configurations compile to a single explicit tier
+	// (the chain ends implicitly at DRAM).
+	for _, g := range All() {
+		spec, err := g.Hierarchy()
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if len(spec) != 1 {
+			t.Errorf("%s: %d tiers, want 1", g.Name, len(spec))
+		}
+	}
+}
+
+func TestHierarchyStackedConfigs(t *testing.T) {
+	tests := []struct {
+		cfg     GPUConfig
+		variant CellVariant
+	}{
+		{C1L3(), CellReadTuned},
+		{C2L3(), CellWriteTuned},
+	}
+	for _, tt := range tests {
+		spec, err := tt.cfg.Hierarchy()
+		if err != nil {
+			t.Fatalf("%s: %v", tt.cfg.Name, err)
+		}
+		if len(spec) != 2 {
+			t.Fatalf("%s: %d tiers, want 2", tt.cfg.Name, len(spec))
+		}
+		if spec[0].Kind != TierTwoPart {
+			t.Errorf("%s: L2 kind %q, want %q", tt.cfg.Name, spec[0].Kind, TierTwoPart)
+		}
+		l3 := spec[1]
+		if l3.Kind != TierSTTL3 || l3.Variant != tt.variant {
+			t.Errorf("%s: L3 = %q/%q, want %q/%q",
+				tt.cfg.Name, l3.Kind, l3.Variant, TierSTTL3, tt.variant)
+		}
+		if l3.TotalBytes != tt.cfg.L3.TotalBytes || l3.TotalBytes <= spec[0].TotalBytes {
+			t.Errorf("%s: L3 capacity %d not larger than L2 %d",
+				tt.cfg.Name, l3.TotalBytes, spec[0].TotalBytes)
+		}
+	}
+}
+
+func TestHierarchyErrors(t *testing.T) {
+	unknownKind := C1()
+	unknownKind.L2.Kind = L2Kind(99)
+	negL3 := C1()
+	negL3.L3.TotalBytes = -1
+	badVariant := WithL3(C1(), 4*BaseL2Bytes, 0, CellVariant("mid-tuned"))
+	tests := []struct {
+		name string
+		cfg  GPUConfig
+		want string
+	}{
+		{"unknown L2 kind", unknownKind, "unknown L2 kind"},
+		{"negative L3 capacity", negL3, "negative L3 capacity"},
+		{"unknown L3 variant", badVariant, "unknown L3 cell variant"},
+	}
+	for _, tt := range tests {
+		if _, err := tt.cfg.Hierarchy(); err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: Hierarchy() err = %v, want %q", tt.name, err, tt.want)
+		}
+		if _, err := tt.cfg.NewTiers(tt.cfg.NewDRAM()); err == nil {
+			t.Errorf("%s: NewTiers should propagate the compile error", tt.name)
+		}
+		if err := tt.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tt.name)
+		}
+	}
+}
+
+func TestValidateTurnsConstructorPanicsIntoErrors(t *testing.T) {
+	// Geometry the compiler cannot see but the constructors panic on:
+	// Validate must surface it as an error, never a panic.
+	badClock := C1()
+	badClock.ClockHz = 0
+	badGeom := BaselineSRAM()
+	// One extra line per bank: the per-bank capacity stops dividing by
+	// ways*line, which the cache constructor panics on.
+	badGeom.L2.TotalBytes = BaseL2Bytes + badGeom.NumBanks*badGeom.LineBytes
+	for _, tt := range []struct {
+		name string
+		cfg  GPUConfig
+	}{
+		{"zero clock", badClock},
+		{"indivisible capacity", badGeom},
+	} {
+		err := tt.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "config "+tt.cfg.Name) {
+			t.Errorf("%s: error %q does not name the config", tt.name, err)
+		}
+	}
+	// And the well-formed configurations all pass.
+	for _, g := range Extended() {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", g.Name, err)
+		}
+	}
+}
+
+func TestDRAMSpecDefaults(t *testing.T) {
+	var zero DRAMSpec
+	d := zero.withDefaults()
+	if d.Banks != 8 || d.RowBytes != 2048 {
+		t.Errorf("defaults = %d banks / %dB rows, want 8 / 2048", d.Banks, d.RowBytes)
+	}
+	if d.RowHitLatency <= 0 || d.RowMissLatency <= d.RowHitLatency || d.BurstGap <= 0 {
+		t.Errorf("default timing implausible: %+v", d)
+	}
+	// Partial overrides keep the rest at defaults.
+	part := DRAMSpec{Banks: 16}.withDefaults()
+	if part.Banks != 16 || part.RowBytes != 2048 {
+		t.Errorf("partial override = %d banks / %dB rows, want 16 / 2048", part.Banks, part.RowBytes)
+	}
+	for _, bad := range []DRAMSpec{
+		{Banks: 7},
+		{RowBytes: 1000},
+		{RowHitLatency: -1},
+	} {
+		if err := bad.validate(); err == nil {
+			t.Errorf("DRAMSpec%+v should not validate", bad)
+		}
+	}
+	g := C1()
+	g.DRAM = DRAMSpec{Banks: 7}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Errorf("GPUConfig.Validate with bad DRAM = %v, want power-of-two error", err)
+	}
+}
+
+func TestNewTiersChains(t *testing.T) {
+	g := C2L3()
+	tiers, err := g.NewTiers(g.NewDRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 2 {
+		t.Fatalf("chain length = %d, want 2", len(tiers))
+	}
+	if _, ok := tiers[0].(*core.TwoPartBank); !ok {
+		t.Errorf("top tier is %T, want *core.TwoPartBank", tiers[0])
+	}
+	l3, ok := tiers[1].(*core.UniformBank)
+	if !ok {
+		t.Fatalf("bottom tier is %T, want *core.UniformBank", tiers[1])
+	}
+	if l3.Config().CapacityBytes != g.L3.TotalBytes/g.NumBanks {
+		t.Errorf("L3 bank capacity = %d, want %d",
+			l3.Config().CapacityBytes, g.L3.TotalBytes/g.NumBanks)
+	}
+	// A miss in the top tier must flow through the chain and come back
+	// with a completion time: the L2's backing is the L3, not DRAM.
+	if done, hit := tiers[0].Access(0, 0x4000, false); hit || done <= 0 {
+		t.Errorf("cold access = (%d, %v), want a miss with positive latency", done, hit)
+	}
+	if l3.Stats().Reads == 0 {
+		t.Error("L2 miss did not reach the stacked L3")
+	}
+	// NewBank stays the chain's top for compatibility.
+	if b := g.NewBank(g.NewDRAM()); b == nil {
+		t.Error("NewBank returned nil for a stacked config")
+	} else if _, ok := b.(*core.TwoPartBank); !ok {
+		t.Errorf("NewBank = %T, want the chain's top tier", b)
+	}
+}
+
+func TestWithL3(t *testing.T) {
+	g := WithL3(C3(), 6<<20, 12, CellWriteTuned)
+	if g.L3.TotalBytes != 6<<20 || g.L3.Ways != 12 || g.L3.Variant != CellWriteTuned {
+		t.Errorf("WithL3 = %+v", g.L3)
+	}
+	spec, err := g.Hierarchy()
+	if err != nil || len(spec) != 2 || spec[1].Ways != 12 {
+		t.Errorf("Hierarchy after WithL3 = %+v, %v", spec, err)
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"math/bits"
 	"time"
 
-	"sttllc/internal/dram"
 	"sttllc/internal/metrics"
 	"sttllc/internal/stats"
 	"sttllc/internal/sttram"
@@ -403,10 +402,4 @@ func (m *mshr) reset() {
 	m.live = 0
 	m.dead = 0
 	m.lastSeen = 0
-}
-
-// writeback issues a dirty-line writeback to DRAM.
-func writeback(mc *dram.Controller, now int64, addr uint64, s *BankStats) {
-	mc.Access(now, addr, true)
-	s.DRAMWritebacks++
 }

@@ -53,7 +53,9 @@ func (b *TwoPartBank) RegisterMetrics(r *metrics.Registry, prefix string) {
 	registerBankStats(r, prefix, &b.stats)
 	b.lr.RegisterMetrics(r, prefix+".lr")
 	b.hr.RegisterMetrics(r, prefix+".hr")
-	registerDRAMStats(r, prefix+".dram", b.mc)
+	if b.mc != nil { // chained tiers have no private DRAM channel
+		registerDRAMStats(r, prefix+".dram", b.mc)
+	}
 	r.RegisterFunc(prefix+".write_threshold", func() uint64 { return uint64(b.threshold) })
 }
 
@@ -61,5 +63,7 @@ func (b *TwoPartBank) RegisterMetrics(r *metrics.Registry, prefix string) {
 func (b *UniformBank) RegisterMetrics(r *metrics.Registry, prefix string) {
 	registerBankStats(r, prefix, &b.stats)
 	b.arr.RegisterMetrics(r, prefix+".array")
-	registerDRAMStats(r, prefix+".dram", b.mc)
+	if b.mc != nil { // chained tiers have no private DRAM channel
+		registerDRAMStats(r, prefix+".dram", b.mc)
+	}
 }

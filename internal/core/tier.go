@@ -1,0 +1,66 @@
+package core
+
+import "sttllc/internal/cache"
+
+// Backing is the next level down the memory hierarchy from a tier's
+// point of view: another cache tier, or the DRAM channel that terminates
+// every chain. Access serves the line containing addr arriving at cycle
+// now and returns the cycle at which the data is available (reads) or
+// the write is accepted (writes). *dram.Controller satisfies Backing
+// as-is.
+type Backing interface {
+	Access(now int64, addr uint64, write bool) int64
+}
+
+// Tier is one level of a composable cache hierarchy: a Bank that also
+// exposes the backing link its miss path drains into. UniformBank and
+// TwoPartBank are the two tier implementations; a chain is built bottom
+// up by handing each tier the one below it (via AsBacking) until the
+// last tier is handed the DRAM controller.
+type Tier interface {
+	Bank
+	// Backing returns the next level down (a lower tier or DRAM).
+	Backing() Backing
+}
+
+// AsBacking adapts a tier to the Backing contract of the tier above it:
+// the upper tier only needs a completion time, and whether the access
+// hit below is the lower tier's own statistic.
+func AsBacking(t Tier) Backing { return tierLink{t} }
+
+type tierLink struct{ t Tier }
+
+func (l tierLink) Access(now int64, addr uint64, write bool) int64 {
+	done, _ := l.t.Access(now, addr, write)
+	return done
+}
+
+// The capability interfaces below let experiments and tools interrogate
+// a tier for optional features without naming concrete bank types, so
+// the same harness code works on any chain composition.
+
+// ArrayReporter is implemented by single-technology tiers exposing
+// their one data array (write-variation characterization, wear
+// reports).
+type ArrayReporter interface {
+	Array() *cache.Cache
+}
+
+// PartArrayReporter is implemented by two-part tiers exposing their LR
+// and HR data arrays.
+type PartArrayReporter interface {
+	LRArray() *cache.Cache
+	HRArray() *cache.Cache
+}
+
+// ThresholdReporter is implemented by tiers with a write-working-set
+// monitor whose current migration threshold is observable.
+type ThresholdReporter interface {
+	Threshold() uint8
+}
+
+// WriteVariationEnabler is implemented by tiers whose data arrays can
+// track per-line write variation (the Fig. 3 characterization).
+type WriteVariationEnabler interface {
+	EnableWriteVariation()
+}

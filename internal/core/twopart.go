@@ -90,10 +90,11 @@ func (c *TwoPartConfig) applyDefaults() {
 // part, retention counters with a buffered refresh path, and a cache
 // search selector that orders tag probes by access type.
 type TwoPartBank struct {
-	cfg TwoPartConfig
-	lr  *cache.Cache
-	hr  *cache.Cache
-	mc  *dram.Controller
+	cfg  TwoPartConfig
+	lr   *cache.Cache
+	hr   *cache.Cache
+	back Backing
+	mc   *dram.Controller // devirtualized fast path when back is concrete DRAM
 
 	lrReadCy, lrWriteCy int64
 	hrReadCy, hrWriteCy int64
@@ -136,9 +137,10 @@ type TwoPartBank struct {
 	energy Energy
 }
 
-// NewTwoPartBank builds the proposed bank backed by the given DRAM
-// channel.
-func NewTwoPartBank(cfg TwoPartConfig, mc *dram.Controller) *TwoPartBank {
+// NewTwoPartBank builds the proposed bank on top of the given backing
+// store — the DRAM channel in the paper's two-level hierarchy, or a
+// lower tier (via AsBacking) in a stacked one.
+func NewTwoPartBank(cfg TwoPartConfig, back Backing) *TwoPartBank {
 	cfg.applyDefaults()
 	if cfg.ClockHz <= 0 {
 		panic("core: ClockHz must be positive")
@@ -148,7 +150,7 @@ func NewTwoPartBank(cfg TwoPartConfig, mc *dram.Controller) *TwoPartBank {
 		cfg:       cfg,
 		lr:        cache.New(cfg.LRBytes, cfg.LRWays, cfg.LineBytes),
 		hr:        cache.New(cfg.HRBytes, cfg.HRWays, cfg.LineBytes),
-		mc:        mc,
+		back:      back,
 		lrReadCy:  cyclesOf(cfg.LRCell.ReadLatency, cfg.ClockHz),
 		lrWriteCy: cyclesOf(cfg.LRCell.WriteLatency, cfg.ClockHz),
 		hrReadCy:  cyclesOf(cfg.HRCell.ReadLatency, cfg.ClockHz),
@@ -164,6 +166,7 @@ func NewTwoPartBank(cfg TwoPartConfig, mc *dram.Controller) *TwoPartBank {
 		lr2hr:     newSwapBuffer(cfg.BufferBlocks),
 		msh:       newMSHR(),
 	}
+	b.mc, _ = back.(*dram.Controller)
 	b.lr.Policy = cfg.Replacement
 	b.hr.Policy = cfg.Replacement
 	b.lrWriteOcc = writeOccupancy(b.lrReadCy, b.lrWriteCy)
@@ -225,6 +228,31 @@ func (b *TwoPartBank) CheckSwapBuffers(now int64) error {
 // LRArray and HRArray expose the parts for characterization experiments.
 func (b *TwoPartBank) LRArray() *cache.Cache { return b.lr }
 func (b *TwoPartBank) HRArray() *cache.Cache { return b.hr }
+
+// Backing implements Tier.
+func (b *TwoPartBank) Backing() Backing { return b.back }
+
+// EnableWriteVariation implements WriteVariationEnabler.
+func (b *TwoPartBank) EnableWriteVariation() {
+	b.lr.EnableWriteVariation()
+	b.hr.EnableWriteVariation()
+}
+
+// backAccess forwards a miss or writeback to the backing store. The
+// concrete-DRAM case stays devirtualized so single-tier hierarchies pay
+// nothing for the tier abstraction on the hot path.
+func (b *TwoPartBank) backAccess(now int64, addr uint64, write bool) int64 {
+	if b.mc != nil {
+		return b.mc.Access(now, addr, write)
+	}
+	return b.back.Access(now, addr, write)
+}
+
+// writeback issues a dirty-line writeback to the backing store.
+func (b *TwoPartBank) writeback(now int64, addr uint64) {
+	b.backAccess(now, addr, true)
+	b.stats.DRAMWritebacks++
+}
 
 // bufferInsertCycles is the foreground cost of handing a block to a swap
 // buffer: the store is acknowledged once buffered.
@@ -343,7 +371,7 @@ func (b *TwoPartBank) accessWrite(now int64, addr uint64) (int64, bool) {
 	done := b.hrPorts.acquire(addr, b.cfg.LineBytes, at, b.hrWriteOcc) + b.hrWriteCy
 	if ev, evicted := b.hr.Fill(addr, true, now); evicted && ev.Dirty {
 		b.energy.DataRead += b.hrReadE
-		writeback(b.mc, now, ev.Addr, &b.stats)
+		b.writeback(now, ev.Addr)
 	}
 	return done, false
 }
@@ -376,13 +404,13 @@ func (b *TwoPartBank) accessRead(now int64, addr uint64) (int64, bool) {
 	if fillDone, ok := b.msh.lookup(b.blockAddr(addr), at); ok {
 		return fillDone + b.hrReadCy, false
 	}
-	dramDone := b.mc.Access(at, addr, false)
+	dramDone := b.backAccess(at, addr, false)
 	b.msh.insert(b.blockAddr(addr), dramDone)
 	b.stats.DRAMFills++
 	b.energy.DataWrite += b.hrWriteE // fill write
 	if ev, evicted := b.hr.Fill(addr, false, now); evicted && ev.Dirty {
 		b.energy.DataRead += b.hrReadE
-		writeback(b.mc, now, ev.Addr, &b.stats)
+		b.writeback(now, ev.Addr)
 	}
 	return dramDone + b.hrReadCy, false
 }
@@ -401,7 +429,7 @@ func (b *TwoPartBank) fillLR(now int64, addr uint64, dirty bool) {
 func (b *TwoPartBank) returnToHR(now int64, ev cache.Evicted) {
 	if !b.lr2hr.tryEnqueue(now, b.hrWriteOcc) {
 		if ev.Dirty {
-			writeback(b.mc, now, ev.Addr, &b.stats)
+			b.writeback(now, ev.Addr)
 			b.stats.OverflowWritebacks++
 		}
 		return
@@ -411,7 +439,7 @@ func (b *TwoPartBank) returnToHR(now int64, ev cache.Evicted) {
 	b.energy.Buffer += b.bufE
 	if hrEv, evicted := b.hr.Fill(ev.Addr, ev.Dirty, now); evicted && hrEv.Dirty {
 		b.energy.DataRead += b.hrReadE
-		writeback(b.mc, now, hrEv.Addr, &b.stats)
+		b.writeback(now, hrEv.Addr)
 	}
 }
 
@@ -487,7 +515,7 @@ func (b *TwoPartBank) scanLR(now int64) {
 	for _, sw := range drop {
 		ev := b.lr.InvalidateWay(sw[0], sw[1])
 		if ev.Dirty {
-			writeback(b.mc, now, ev.Addr, &b.stats)
+			b.writeback(now, ev.Addr)
 			b.stats.OverflowWritebacks++
 		}
 		b.stats.LRExpiryDrops++
@@ -513,7 +541,7 @@ func (b *TwoPartBank) scanHR(now int64) {
 	for _, sw := range expired {
 		ev := b.hr.InvalidateWay(sw[0], sw[1])
 		if ev.Dirty {
-			writeback(b.mc, now, ev.Addr, &b.stats)
+			b.writeback(now, ev.Addr)
 		}
 		b.stats.HRExpiries++
 	}
@@ -545,7 +573,7 @@ func (b *TwoPartBank) adaptThreshold() {
 // Drain implements Bank.
 func (b *TwoPartBank) Drain(now int64) {
 	wb := func(set, way int, addr uint64) {
-		writeback(b.mc, now, addr, &b.stats)
+		b.writeback(now, addr)
 	}
 	b.lr.FlushDirty(wb)
 	b.hr.FlushDirty(wb)
@@ -560,7 +588,11 @@ func (b *TwoPartBank) ResetStats() {
 	b.energy = Energy{}
 	b.lr.Stats = cache.Stats{}
 	b.hr.Stats = cache.Stats{}
-	b.mc.Stats = dram.Stats{}
+	// A lower tier owns its own statistics (the simulator resets each
+	// tier of a chain directly); only a private DRAM channel is ours.
+	if b.mc != nil {
+		b.mc.Stats = dram.Stats{}
+	}
 }
 
 // Energy implements Bank.
@@ -593,7 +625,9 @@ func (b *TwoPartBank) OverheadBytes() int {
 func (b *TwoPartBank) Reset() {
 	b.lr.Reset()
 	b.hr.Reset()
-	b.mc.Reset()
+	if b.mc != nil {
+		b.mc.Reset()
+	}
 	b.hr2lr.reset()
 	b.lr2hr.reset()
 	b.threshold = b.cfg.WriteThreshold

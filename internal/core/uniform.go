@@ -28,9 +28,10 @@ type UniformConfig struct {
 // for the full write latency — the behaviour that makes the archival
 // STT-RAM baseline lose on write-intensive workloads.
 type UniformBank struct {
-	cfg UniformConfig
-	arr *cache.Cache
-	mc  *dram.Controller
+	cfg  UniformConfig
+	arr  *cache.Cache
+	back Backing
+	mc   *dram.Controller // devirtualized fast path when back is concrete DRAM
 
 	readCycles  int64
 	writeCycles int64
@@ -46,8 +47,10 @@ type UniformBank struct {
 	energy Energy
 }
 
-// NewUniformBank builds a uniform bank backed by the given DRAM channel.
-func NewUniformBank(cfg UniformConfig, mc *dram.Controller) *UniformBank {
+// NewUniformBank builds a uniform bank on top of the given backing
+// store — the DRAM channel in the paper's two-level hierarchy, or a
+// lower tier (via AsBacking) in a stacked one.
+func NewUniformBank(cfg UniformConfig, back Backing) *UniformBank {
 	if cfg.ClockHz <= 0 {
 		panic("core: ClockHz must be positive")
 	}
@@ -61,7 +64,7 @@ func NewUniformBank(cfg UniformConfig, mc *dram.Controller) *UniformBank {
 		cfg: cfg,
 		arr: cache.New(cfg.CapacityBytes, cfg.Ways, cfg.LineBytes),
 
-		mc:          mc,
+		back:        back,
 		readCycles:  cyclesOf(cfg.Cell.ReadLatency, cfg.ClockHz),
 		writeCycles: cyclesOf(cfg.Cell.WriteLatency, cfg.ClockHz),
 		readE:       cfg.Cell.EnergyPerBlock(cfg.LineBytes, false),
@@ -69,6 +72,7 @@ func NewUniformBank(cfg UniformConfig, mc *dram.Controller) *UniformBank {
 		tagE:        tagEnergy(tagBitsFor(cfg.CapacityBytes, cfg.Ways, cfg.LineBytes, cfg.AddrBits)),
 		msh:         newMSHR(),
 	}
+	b.mc, _ = back.(*dram.Controller)
 	b.arr.Policy = cfg.Replacement
 	b.stats.RewriteIntervals = NewRewriteHistogram()
 	return b
@@ -77,6 +81,28 @@ func NewUniformBank(cfg UniformConfig, mc *dram.Controller) *UniformBank {
 // Array exposes the underlying cache array (for write-variation tracking
 // in characterization experiments).
 func (b *UniformBank) Array() *cache.Cache { return b.arr }
+
+// Backing implements Tier.
+func (b *UniformBank) Backing() Backing { return b.back }
+
+// EnableWriteVariation implements WriteVariationEnabler.
+func (b *UniformBank) EnableWriteVariation() { b.arr.EnableWriteVariation() }
+
+// backAccess forwards a miss or writeback to the backing store. The
+// concrete-DRAM case stays devirtualized so single-tier hierarchies pay
+// nothing for the tier abstraction on the hot path.
+func (b *UniformBank) backAccess(now int64, addr uint64, write bool) int64 {
+	if b.mc != nil {
+		return b.mc.Access(now, addr, write)
+	}
+	return b.back.Access(now, addr, write)
+}
+
+// writeback issues a dirty-line writeback to the backing store.
+func (b *UniformBank) writeback(now int64, addr uint64) {
+	b.backAccess(now, addr, true)
+	b.stats.DRAMWritebacks++
+}
 
 // Config returns the bank's configuration with defaults applied, as the
 // constructor saw it.
@@ -146,7 +172,7 @@ func (b *UniformBank) Access(now int64, addr uint64, write bool) (int64, bool) {
 		// Another miss to this line is already in flight: merge.
 		return fillDone + b.readCycles, false
 	}
-	dramDone := b.mc.Access(at, addr, false)
+	dramDone := b.backAccess(at, addr, false)
 	b.msh.insert(line, dramDone)
 	b.stats.DRAMFills++
 	b.fill(addr, false, now)
@@ -161,7 +187,7 @@ func (b *UniformBank) Access(now int64, addr uint64, write bool) (int64, bool) {
 func (b *UniformBank) fill(addr uint64, dirty bool, now int64) {
 	if ev, evicted := b.arr.Fill(addr, dirty, now); evicted && ev.Dirty {
 		b.energy.DataRead += b.readE // victim must be read out
-		writeback(b.mc, now, ev.Addr, &b.stats)
+		b.writeback(now, ev.Addr)
 	}
 }
 
@@ -175,7 +201,7 @@ func (b *UniformBank) TickPeriod() int64 { return 0 }
 // Drain implements Bank: write back all dirty lines.
 func (b *UniformBank) Drain(now int64) {
 	b.arr.FlushDirty(func(set, way int, addr uint64) {
-		writeback(b.mc, now, addr, &b.stats)
+		b.writeback(now, addr)
 	})
 }
 
@@ -187,7 +213,11 @@ func (b *UniformBank) ResetStats() {
 	b.stats = BankStats{RewriteIntervals: NewRewriteHistogram()}
 	b.energy = Energy{}
 	b.arr.Stats = cache.Stats{}
-	b.mc.Stats = dram.Stats{}
+	// A lower tier owns its own statistics (the simulator resets each
+	// tier of a chain directly); only a private DRAM channel is ours.
+	if b.mc != nil {
+		b.mc.Stats = dram.Stats{}
+	}
 }
 
 // Energy implements Bank.
@@ -204,7 +234,9 @@ func (b *UniformBank) LeakageWatts() float64 {
 // Reset implements Bank.
 func (b *UniformBank) Reset() {
 	b.arr.Reset()
-	b.mc.Reset()
+	if b.mc != nil {
+		b.mc.Reset()
+	}
 	b.front = 0
 	b.arr2.reset()
 	b.msh.reset()

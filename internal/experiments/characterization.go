@@ -39,7 +39,7 @@ func Fig3(p Params) []Fig3Row {
 		var perSetCOVs []float64
 		var writes uint64
 		for _, b := range s.Banks() {
-			ub := b.(*core.UniformBank)
+			ub := b.(core.ArrayReporter)
 			wv := ub.Array().WriteVar
 			perSet = append(perSet, wv.PerSetTotals()...)
 			perSetCOVs = append(perSetCOVs, wv.PerSetCOVs()...)

@@ -246,7 +246,7 @@ func Reliability(p Params) []ReliabilityRow {
 func lrLineWrites(s *sim.Simulator) []float64 {
 	var out []float64
 	for _, b := range s.Banks() {
-		tp := b.(*core.TwoPartBank)
+		tp := b.(core.PartArrayReporter)
 		out = append(out, tp.LRArray().WearCounts()...)
 	}
 	return out
@@ -256,7 +256,7 @@ func lrLineWrites(s *sim.Simulator) []float64 {
 func uniformLineWrites(s *sim.Simulator) []float64 {
 	var out []float64
 	for _, b := range s.Banks() {
-		ub := b.(*core.UniformBank)
+		ub := b.(core.ArrayReporter)
 		out = append(out, ub.Array().WearCounts()...)
 	}
 	return out

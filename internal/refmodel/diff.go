@@ -13,11 +13,15 @@ import (
 
 // Pair is one optimized bank and its reference twin, each with a
 // private DRAM channel of identical configuration so timing feedback
-// through the memory controller is part of the comparison.
+// through the memory controller is part of the comparison. For stacked
+// hierarchies, OptL3/RefL3 carry the tier between the bank and DRAM;
+// the harness then compares both levels of both stacks.
 type Pair struct {
 	Name  string
 	Opt   core.Bank
 	Ref   Bank
+	OptL3 core.Bank // nil for two-level organizations
+	RefL3 Bank      // nil iff OptL3 is nil
 	OptMC *dram.Controller
 	RefMC *dram.Controller
 }
@@ -30,8 +34,9 @@ type Org struct {
 }
 
 // Organizations returns the bank organizations the harness replays:
-// the proposed two-part bank at the paper's C1 and C2 sizings and the
-// uniform archival STT-RAM baseline.
+// the proposed two-part bank at the paper's C1 and C2 sizings, the
+// uniform archival STT-RAM baseline, and the stacked two-tier C2-L3
+// hierarchy (two-part L2 chained onto a uniform STT-MRAM L3).
 func Organizations() []Org {
 	twoPart := func(g config.GPUConfig) Pair {
 		optMC, refMC := g.NewDRAM(), g.NewDRAM()
@@ -55,10 +60,33 @@ func Organizations() []Org {
 			RefMC: refMC,
 		}
 	}
+	stacked := func(g config.GPUConfig) Pair {
+		optMC, refMC := g.NewDRAM(), g.NewDRAM()
+		tiers, err := g.NewTiers(optMC)
+		if err != nil {
+			panic(err)
+		}
+		opt := tiers[0].(*core.TwoPartBank)
+		optL3 := tiers[1].(*core.UniformBank)
+		// Mirror the chain on the reference side: a reference L3 on the
+		// reference DRAM channel, and a reference L2 whose miss path
+		// drains into it.
+		refL3 := NewUniform(optL3.Config(), refMC)
+		return Pair{
+			Name:  g.Name,
+			Opt:   opt,
+			Ref:   NewTwoPart(opt.Config(), AsBacking(refL3)),
+			OptL3: optL3,
+			RefL3: refL3,
+			OptMC: optMC,
+			RefMC: refMC,
+		}
+	}
 	return []Org{
 		{Name: "C1", New: func() Pair { return twoPart(config.C1()) }},
 		{Name: "C2", New: func() Pair { return twoPart(config.C2()) }},
 		{Name: "baseline-STT", New: func() Pair { return uniform(config.BaselineSTT()) }},
+		{Name: "C2-L3", New: func() Pair { return stacked(config.C2L3()) }},
 	}
 }
 
@@ -105,12 +133,19 @@ func Diff(p Pair, records []trace.Record) error {
 	}
 
 	// Final settle: one last tick at the last access cycle, then drain
-	// dirty state, then compare everything including array contents and
-	// the DRAM channels.
+	// dirty state top-down (an upper tier's final writebacks land in the
+	// tier below before that one drains), then compare everything
+	// including array contents and the DRAM channels.
 	p.Opt.Tick(end)
 	p.Ref.Tick(end)
 	p.Opt.Drain(end)
 	p.Ref.Drain(end)
+	if p.OptL3 != nil {
+		p.OptL3.Tick(end)
+		p.RefL3.Tick(end)
+		p.OptL3.Drain(end)
+		p.RefL3.Drain(end)
+	}
 	ctx := fmt.Sprintf("%s: final state (cycle %d)", p.Name, end)
 	if err := compareAt(ctx, p, end); err != nil {
 		return err
@@ -123,18 +158,28 @@ func Diff(p Pair, records []trace.Record) error {
 }
 
 // compareAt checks stats, energy, array contents, and the optimized
-// side's invariants at cycle now.
+// side's invariants at cycle now, on every tier of the pair.
 func compareAt(ctx string, p Pair, now int64) error {
-	if err := compareStats(ctx, p.Opt.Stats(), p.Ref.Stats()); err != nil {
+	if err := compareTierAt(ctx, p.Opt, p.Ref, now); err != nil {
 		return err
 	}
-	if err := compareEnergy(ctx, p.Opt.Energy(), p.Ref.Energy()); err != nil {
+	if p.OptL3 != nil {
+		return compareTierAt(ctx+" [l3]", p.OptL3, p.RefL3, now)
+	}
+	return nil
+}
+
+func compareTierAt(ctx string, opt core.Bank, ref Bank, now int64) error {
+	if err := compareStats(ctx, opt.Stats(), ref.Stats()); err != nil {
 		return err
 	}
-	if err := compareContent(ctx, p); err != nil {
+	if err := compareEnergy(ctx, opt.Energy(), ref.Energy()); err != nil {
 		return err
 	}
-	return CheckBank(p.Opt, now)
+	if err := compareContent(ctx, opt, ref); err != nil {
+		return err
+	}
+	return CheckTier(opt, now)
 }
 
 // compareStats requires every counter — including the rewrite-interval
@@ -168,19 +213,19 @@ func compareEnergy(ctx string, opt, ref *core.Energy) error {
 
 // compareContent requires every line of every array to match: tags,
 // valid/dirty state, write counters, stamps, and wear.
-func compareContent(ctx string, p Pair) error {
-	switch opt := p.Opt.(type) {
+func compareContent(ctx string, optBank core.Bank, refBank Bank) error {
+	switch opt := optBank.(type) {
 	case *core.TwoPartBank:
-		ref := p.Ref.(*RefTwoPart)
+		ref := refBank.(*RefTwoPart)
 		if err := compareArray(ctx, "LR", opt.LRArray(), ref.lr); err != nil {
 			return err
 		}
 		return compareArray(ctx, "HR", opt.HRArray(), ref.hr)
 	case *core.UniformBank:
-		ref := p.Ref.(*RefUniform)
+		ref := refBank.(*RefUniform)
 		return compareArray(ctx, "uniform", opt.Array(), ref.arr)
 	}
-	return fmt.Errorf("%s: unknown optimized bank type %T", ctx, p.Opt)
+	return fmt.Errorf("%s: unknown optimized bank type %T", ctx, optBank)
 }
 
 func compareArray(ctx, name string, opt *cache.Cache, ref *refCache) error {

@@ -9,12 +9,13 @@ import (
 	"sttllc/internal/core"
 )
 
-// CheckBank verifies the structural invariants of a live optimized bank
-// at cycle now. The retention-window bounds assume the bank's Tick has
-// been advanced to now (Access does this internally, so checking right
-// after an Access or an explicit Tick is always valid). Unknown bank
-// types pass vacuously.
-func CheckBank(b core.Bank, now int64) error {
+// CheckTier verifies the structural invariants of a live optimized tier
+// at cycle now — any level of a hierarchy chain, since every tier is a
+// bank. The retention-window bounds assume the tier's Tick has been
+// advanced to now (Access does this internally, so checking right after
+// an Access or an explicit Tick is always valid). Unknown tier types
+// pass vacuously.
+func CheckTier(b core.Bank, now int64) error {
 	switch b := b.(type) {
 	case *core.TwoPartBank:
 		return checkTwoPart(b, now)
@@ -23,6 +24,10 @@ func CheckBank(b core.Bank, now int64) error {
 	}
 	return nil
 }
+
+// CheckBank is the historical name for CheckTier, kept for callers that
+// predate hierarchy chaining.
+func CheckBank(b core.Bank, now int64) error { return CheckTier(b, now) }
 
 func checkTwoPart(b *core.TwoPartBank, now int64) error {
 	if err := checkTwoPartConservation(b.Stats()); err != nil {

@@ -6,7 +6,6 @@ import (
 
 	"sttllc/internal/cache"
 	"sttllc/internal/core"
-	"sttllc/internal/dram"
 	"sttllc/internal/sttram"
 )
 
@@ -166,11 +165,26 @@ func (b *refSwapBuffer) insert(grant, serviceCycles int64) {
 	b.slots = append(b.slots, refSlot{grant: grant, done: done})
 }
 
-// writeback sends a dirty line to DRAM.
-func writeback(mc *dram.Controller, now int64, addr uint64, s *core.BankStats) {
+// writeback sends a dirty line to the tier's backing store (DRAM, or
+// the next reference tier down a chained stack).
+func writeback(mc core.Backing, now int64, addr uint64, s *core.BankStats) {
 	mc.Access(now, addr, true)
 	s.DRAMWritebacks++
 }
+
+// refBacking adapts a reference bank into the backing-store contract,
+// mirroring core.AsBacking: reference tiers chain exactly like the
+// optimized ones, with the hit flag dropped at the seam.
+type refBacking struct{ b Bank }
+
+func (l refBacking) Access(now int64, addr uint64, write bool) int64 {
+	done, _ := l.b.Access(now, addr, write)
+	return done
+}
+
+// AsBacking wraps a reference bank so another reference tier can stack
+// on top of it.
+func AsBacking(b Bank) core.Backing { return refBacking{b} }
 
 // ---- Reference two-part bank ----
 
@@ -179,7 +193,7 @@ type RefTwoPart struct {
 	cfg core.TwoPartConfig
 	lr  *refCache
 	hr  *refCache
-	mc  *dram.Controller
+	mc  core.Backing
 
 	lrReadCy, lrWriteCy int64
 	hrReadCy, hrWriteCy int64
@@ -214,7 +228,7 @@ type RefTwoPart struct {
 
 // NewTwoPart builds the reference two-part bank for the given
 // (normalized or not) configuration. Only LRU replacement is specified.
-func NewTwoPart(cfg core.TwoPartConfig, mc *dram.Controller) *RefTwoPart {
+func NewTwoPart(cfg core.TwoPartConfig, mc core.Backing) *RefTwoPart {
 	cfg = cfg.Normalized()
 	if cfg.Replacement != cache.LRU {
 		panic("refmodel: only LRU replacement is specified")
@@ -549,7 +563,7 @@ func (b *RefTwoPart) Energy() *core.Energy { return &b.energy }
 type RefUniform struct {
 	cfg core.UniformConfig
 	arr *refCache
-	mc  *dram.Controller
+	mc  core.Backing
 
 	readCy, writeCy int64
 	readE, writeE   float64
@@ -564,7 +578,7 @@ type RefUniform struct {
 }
 
 // NewUniform builds the reference uniform bank.
-func NewUniform(cfg core.UniformConfig, mc *dram.Controller) *RefUniform {
+func NewUniform(cfg core.UniformConfig, mc core.Backing) *RefUniform {
 	if cfg.TagLatencyCycles <= 0 {
 		cfg.TagLatencyCycles = 2
 	}

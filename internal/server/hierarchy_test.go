@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sttllc/internal/config"
+	"sttllc/internal/sim"
+)
+
+func TestHierarchyBadRequests400(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	h := s.Handler()
+	for name, req := range map[string]SimulationRequest{
+		"unknown l3 variant": {Config: "C2", Bench: "bfs", L3KB: 1536, L3Variant: "mid-tuned"},
+		"negative l3_kb":     {Config: "C2", Bench: "bfs", L3KB: -1},
+		"negative l3_ways":   {Config: "C2", Bench: "bfs", L3KB: 1536, L3Ways: -2},
+		"odd dram banks":     {Config: "C2", Bench: "bfs", DRAMBanks: 7},
+		"odd dram row":       {Config: "C2", Bench: "bfs", DRAMRowBytes: 1000},
+		"negative dram row":  {Config: "C2", Bench: "bfs", DRAMRowBytes: -1},
+	} {
+		rec, _ := postJSON(t, h, "/v1/simulations", req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: POST = %d %s, want 400", name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestHierarchyKeyStability(t *testing.T) {
+	// A request that predates the hierarchy knobs must keep its
+	// historical cache key: the canonical encoding may not mention the
+	// new fields at all when they are defaulted.
+	legacy := SimulationRequest{Config: "C2", Bench: "bfs", Scale: 0.25}
+	raw, err := json.Marshal(legacy.normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"l3_kb", "l3_ways", "l3_variant", "dram_banks", "dram_row_bytes"} {
+		if strings.Contains(string(raw), field) {
+			t.Errorf("canonical form of a legacy request mentions %q: %s", field, raw)
+		}
+	}
+
+	// Explicit spellings of the defaults collapse onto the legacy key...
+	same := []SimulationRequest{
+		{Config: "C2", Bench: "bfs", Scale: 0.25, DRAMBanks: 8, DRAMRowBytes: 2048},
+		{Config: "C2", Bench: "bfs", Scale: 0.25, L3Ways: 3, L3Variant: "write-tuned"}, // dead without l3_kb
+	}
+	for i, r := range same {
+		if r.Key() != legacy.Key() {
+			t.Errorf("defaulted request %d keys differently from the legacy form", i)
+		}
+	}
+	withL3 := SimulationRequest{Config: "C2", Bench: "bfs", Scale: 0.25, L3KB: 1536}
+	spelled := SimulationRequest{Config: "C2", Bench: "bfs", Scale: 0.25, L3KB: 1536,
+		L3Ways: config.BaseL2Ways, L3Variant: string(config.CellReadTuned)}
+	if spelled.Key() != withL3.Key() {
+		t.Error("explicit L3 defaults key differently from the implicit form")
+	}
+
+	// ...while real overrides produce distinct keys.
+	diff := []SimulationRequest{
+		withL3,
+		{Config: "C2", Bench: "bfs", Scale: 0.25, L3KB: 1536, L3Variant: "write-tuned"},
+		{Config: "C2", Bench: "bfs", Scale: 0.25, DRAMBanks: 16},
+		{Config: "C2", Bench: "bfs", Scale: 0.25, DRAMRowBytes: 4096},
+	}
+	seen := map[string]int{legacy.Key(): -1}
+	for i, r := range diff {
+		k := r.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("requests %d and %d collide on key %s", prev, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestL3RequestRunsEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	h := s.Handler()
+	req := tinyReq("bfs")
+	req.L3KB = 1536
+	req.L3Variant = "write-tuned"
+
+	rec, st := postJSON(t, h, "/v1/simulations?wait=true", req)
+	if rec.Code != http.StatusOK || st.State != "done" {
+		t.Fatalf("POST wait = %d state %q: %s", rec.Code, st.State, rec.Body.String())
+	}
+	if st.Result == nil || st.Result.Schema != sim.StatsSchemaV2 {
+		t.Fatalf("L3 run schema = %+v, want %s", st.Result, sim.StatsSchemaV2)
+	}
+	levels := map[string]bool{}
+	for _, tier := range st.Result.Tiers {
+		levels[tier.Level] = true
+	}
+	for _, want := range []string{"l2", "l3", "dram"} {
+		if !levels[want] {
+			t.Errorf("per-tier roll-ups missing level %q: %+v", want, st.Result.Tiers)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"time"
 
-	"sttllc/internal/config"
 	"sttllc/internal/metrics"
 	"sttllc/internal/sim"
 	"sttllc/internal/workloads"
@@ -80,10 +79,10 @@ func (j *job) terminal() bool {
 // simulator's next periodic check; the partial result is discarded
 // (partial dumps must never enter the cache).
 func runSimulation(ctx context.Context, req SimulationRequest) (*sim.StatsDump, error) {
-	cfg, ok := config.ByName(req.Config)
-	if !ok {
+	cfg, err := req.gpuConfig()
+	if err != nil {
 		// validate() runs before enqueue; reaching this is a server bug.
-		panic("server: job with unknown config " + req.Config)
+		panic("server: job with invalid config: " + err.Error())
 	}
 	reg := metrics.NewRegistry(true)
 	opts := sim.Options{MaxCycles: req.MaxCycles, Metrics: reg}

@@ -36,6 +36,20 @@ type SimulationRequest struct {
 	// Warmup runs this many instructions before statistics start
 	// (benchmarks only; 0 = none).
 	Warmup uint64 `json:"warmup,omitempty"`
+	// L3KB stacks an STT-MRAM L3 tier of this capacity (KB across all
+	// banks) behind the named configuration's L2 (0 = the configuration's
+	// own hierarchy, which may itself include an L3 for the *-L3 names).
+	L3KB int `json:"l3_kb,omitempty"`
+	// L3Ways sets the L3 associativity (0 = the default 8); only
+	// meaningful with L3KB.
+	L3Ways int `json:"l3_ways,omitempty"`
+	// L3Variant picks the L3 cell flavor: "read-tuned" (default) or
+	// "write-tuned"; only meaningful with L3KB.
+	L3Variant string `json:"l3_variant,omitempty"`
+	// DRAMBanks and DRAMRowBytes override each bank's memory channel
+	// geometry (0 = the paper's 8 banks / 2KB rows).
+	DRAMBanks    int `json:"dram_banks,omitempty"`
+	DRAMRowBytes int `json:"dram_row_bytes,omitempty"`
 	// TimeoutMS bounds the run's wall time. It is an execution limit,
 	// not part of the simulation: it is excluded from the cache key,
 	// and the server clamps it to its configured maximum. 0 means the
@@ -58,8 +72,56 @@ func (r SimulationRequest) normalize() SimulationRequest {
 		// that so app results stay byte-identical to the CLI's.
 		r.Warmup = 0
 	}
+	// Hierarchy and DRAM overrides: spellings of the default collapse to
+	// the zero field, so requests that predate these knobs keep their
+	// historical cache keys.
+	if r.L3KB == 0 {
+		r.L3Ways = 0
+		r.L3Variant = ""
+	} else {
+		if r.L3Ways == config.BaseL2Ways {
+			r.L3Ways = 0
+		}
+		if r.L3Variant == string(config.CellReadTuned) {
+			r.L3Variant = ""
+		}
+	}
+	if r.DRAMBanks == 8 {
+		r.DRAMBanks = 0
+	}
+	if r.DRAMRowBytes == 2048 {
+		r.DRAMRowBytes = 0
+	}
 	r.TimeoutMS = 0
 	return r
+}
+
+// gpuConfig resolves the named configuration and applies the request's
+// hierarchy and DRAM overrides, validating the result. This is the one
+// place a request becomes a concrete GPUConfig, so the job runner and
+// the request validator cannot disagree about what will run.
+func (r SimulationRequest) gpuConfig() (config.GPUConfig, error) {
+	g, ok := config.ByName(r.Config)
+	if !ok {
+		return config.GPUConfig{}, fmt.Errorf("unknown config %q", r.Config)
+	}
+	if r.L3KB > 0 {
+		v := config.CellVariant(r.L3Variant)
+		if v == "" {
+			v = config.CellReadTuned
+		}
+		g = config.WithL3(g, r.L3KB<<10, r.L3Ways, v)
+	}
+	if r.DRAMBanks > 0 {
+		g.DRAM.Banks = r.DRAMBanks
+	}
+	if r.DRAMRowBytes > 0 {
+		g.DRAM.RowBytes = r.DRAMRowBytes
+	}
+	if err := g.Validate(); err != nil {
+		return config.GPUConfig{}, err
+	}
+	return g, nil
 }
 
 // validate rejects requests that name unknown configurations or
@@ -68,8 +130,14 @@ func (r SimulationRequest) validate() error {
 	if r.Config == "" {
 		return fmt.Errorf("missing config")
 	}
-	if _, ok := config.ByName(r.Config); !ok {
-		return fmt.Errorf("unknown config %q", r.Config)
+	if r.L3KB < 0 || r.L3Ways < 0 {
+		return fmt.Errorf("l3_kb and l3_ways must be >= 0")
+	}
+	if r.DRAMBanks < 0 || r.DRAMRowBytes < 0 {
+		return fmt.Errorf("dram_banks and dram_row_bytes must be >= 0")
+	}
+	if _, err := r.gpuConfig(); err != nil {
+		return err
 	}
 	switch {
 	case r.Bench == "" && r.App == "":

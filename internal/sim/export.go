@@ -18,6 +18,12 @@ import (
 // dumps whose schema string they don't recognize.
 const StatsSchema = "sttllc-stats/v1"
 
+// StatsSchemaV2 marks dumps of multi-tier hierarchies: v1 plus a
+// trailing "tiers" array with per-level roll-ups. Two-level runs keep
+// emitting v1 byte-identically, so existing consumers and goldens are
+// untouched.
+const StatsSchemaV2 = "sttllc-stats/v2"
+
 // StatsDump is the machine-readable form of one run's Result, plus
 // whatever the run's metrics registry collected.
 type StatsDump struct {
@@ -39,6 +45,21 @@ type StatsDump struct {
 	Counters map[string]uint64 `json:"counters,omitempty"`
 	// Histograms are the registry's bucket snapshots, sorted by name.
 	Histograms []HistogramDump `json:"histograms,omitempty"`
+
+	// Tiers is the per-level hierarchy roll-up (schema v2 only; absent
+	// from two-level runs so v1 dumps stay byte-identical).
+	Tiers []TierDump `json:"tiers,omitempty"`
+}
+
+// TierDump is one hierarchy level's roll-up across all banks.
+type TierDump struct {
+	Level          string  `json:"level"`
+	Kind           string  `json:"kind"`
+	Reads          uint64  `json:"reads"`
+	Writes         uint64  `json:"writes"`
+	HitRate        float64 `json:"hit_rate"`
+	DynamicEnergyJ float64 `json:"dynamic_energy_j"`
+	LeakageW       float64 `json:"leakage_w"`
 }
 
 // L2Dump carries the merged bank counters and the derived rates the
@@ -138,6 +159,18 @@ func (r Result) Dump() StatsDump {
 		TotalW:         r.Power.TotalW(),
 		Seconds:        r.Power.Seconds,
 		ComponentsJ:    comp,
+	}
+	for _, t := range r.Tiers {
+		d.Schema = StatsSchemaV2
+		d.Tiers = append(d.Tiers, TierDump{
+			Level:          t.Level,
+			Kind:           t.Kind,
+			Reads:          t.Reads,
+			Writes:         t.Writes,
+			HitRate:        t.HitRate,
+			DynamicEnergyJ: t.DynamicEnergyJ,
+			LeakageW:       t.LeakageW,
+		})
 	}
 	return d
 }

@@ -39,8 +39,12 @@ func (s *Simulator) registerMetrics() {
 	r.RegisterFunc("engine.events_fired", func() uint64 { return s.engFired })
 
 	s.spec.RegisterMetrics(r)
-	for i, b := range s.banks {
-		b.RegisterMetrics(r, fmt.Sprintf("l2.bank%d", i))
+	for i, chain := range s.tiers {
+		for ti, t := range chain {
+			// Level-numbered namespaces: single-tier chains keep the
+			// historical l2.bankN names, stacked tiers get l3.bankN etc.
+			t.RegisterMetrics(r, fmt.Sprintf("l%d.bank%d", ti+2, i))
+		}
 	}
 
 	// SM-side aggregates sum over the live SM set at snapshot time.

@@ -71,7 +71,10 @@ type Simulator struct {
 	opts Options
 
 	sms      []*gpu.SM
-	banks    []core.Bank
+	banks    []core.Bank // top tier of each bank's chain (what the NoC talks to)
+	tiers    [][]core.Tier
+	flat     []core.Bank // every tier of every chain, bank-major
+	hier     config.HierarchySpec
 	mcs      []*dram.Controller
 	reqNet   *interconnect.Network
 	reqBfly  *interconnect.Butterfly // non-nil when cfg.DetailedNoC
@@ -124,16 +127,26 @@ func New(cfg config.GPUConfig, spec workloads.Spec, opts Options) *Simulator {
 	if cfg.DetailedNoC {
 		s.reqBfly = interconnect.NewButterfly(cfg.NumSMs, cfg.NumBanks, cfg.NoCStageCycles)
 	}
+	hier, err := cfg.Hierarchy()
+	if err != nil {
+		panic(err)
+	}
+	s.hier = hier
+	s.tiers = make([][]core.Tier, cfg.NumBanks)
 	for i := range s.banks {
 		s.mcs[i] = cfg.NewDRAM()
-		s.banks[i] = cfg.NewBank(s.mcs[i])
-		if opts.EnableWriteVariation {
-			switch b := s.banks[i].(type) {
-			case *core.UniformBank:
-				b.Array().EnableWriteVariation()
-			case *core.TwoPartBank:
-				b.LRArray().EnableWriteVariation()
-				b.HRArray().EnableWriteVariation()
+		chain, err := cfg.NewTiers(s.mcs[i])
+		if err != nil {
+			panic(err)
+		}
+		s.tiers[i] = chain
+		s.banks[i] = chain[0]
+		for _, t := range chain {
+			s.flat = append(s.flat, t)
+			if opts.EnableWriteVariation {
+				if wv, ok := t.(core.WriteVariationEnabler); ok {
+					wv.EnableWriteVariation()
+				}
 			}
 		}
 	}
@@ -190,6 +203,10 @@ func (s *Simulator) Access(now int64, smID int, addr uint64, write bool) int64 {
 // Banks exposes the L2 banks for characterization experiments.
 func (s *Simulator) Banks() []core.Bank { return s.banks }
 
+// Tiers exposes each bank's full tier chain, top-down (Tiers()[i][0] is
+// bank i's L2).
+func (s *Simulator) Tiers() [][]core.Tier { return s.tiers }
+
 // MCs exposes the per-bank memory controllers.
 func (s *Simulator) MCs() []*dram.Controller { return s.mcs }
 
@@ -225,6 +242,26 @@ type Result struct {
 
 	// Power is the per-component breakdown behind the totals.
 	Power power.Breakdown
+
+	// Tiers is the per-level roll-up of a multi-tier hierarchy (L2, any
+	// stacked tiers, then DRAM). Nil for the paper's two-level configs,
+	// so single-tier results are unchanged.
+	Tiers []TierResult
+}
+
+// TierResult aggregates one hierarchy level across all banks.
+type TierResult struct {
+	Level string // "l2", "l3", ..., "dram"
+	Kind  string // tier kind ("two-part", "stt-l3", ...; "dram" for the bottom row)
+
+	Reads  uint64
+	Writes uint64
+	// HitRate is the tier's service rate: cache hit rate for cache
+	// tiers, row-buffer hit rate for the DRAM row.
+	HitRate float64
+
+	DynamicEnergyJ float64
+	LeakageW       float64
 }
 
 // Run executes the kernel to completion and returns the result.
@@ -257,7 +294,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			r.IPC = float64(r.Instructions) / float64(r.Cycles)
 		}
 		r.Seconds = float64(r.Cycles) / s.cfg.ClockHz
-		r.Power = power.FromBanks(s.banks, r.Seconds)
+		r.Power = power.FromBanks(s.flat, r.Seconds)
 		r.DynamicPowerW = r.Power.DynamicW()
 		r.TotalPowerW = r.Power.TotalW()
 	}
@@ -330,7 +367,7 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 	}
 	eng := engine.New(start)
 	timers := engine.New(start)
-	for bi, b := range s.banks {
+	for bi, b := range s.flat {
 		if p := b.TickPeriod(); p > 0 {
 			bi, b := bi, b
 			var tick engine.Func
@@ -430,7 +467,7 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			for _, sm := range s.sms {
 				sm.ResetStats()
 			}
-			for _, b := range s.banks {
+			for _, b := range s.flat {
 				b.ResetStats()
 			}
 			for _, a := range actors {
@@ -547,7 +584,7 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 		for _, sm := range s.sms {
 			sm.ResetStats()
 		}
-		for _, b := range s.banks {
+		for _, b := range s.flat {
 			b.ResetStats()
 		}
 		for _, a := range actors {
@@ -587,7 +624,7 @@ const defaultCancelPollCycles = 65536
 // retention tick, or defaultCancelPollCycles when no bank ticks.
 func (s *Simulator) cancelPollPeriod() int64 {
 	p := int64(0)
-	for _, b := range s.banks {
+	for _, b := range s.flat {
 		if tp := b.TickPeriod(); tp > 0 && (p == 0 || tp < p) {
 			p = tp
 		}
@@ -637,18 +674,61 @@ func (s *Simulator) finalize(now int64) Result {
 	}
 	r.Seconds = float64(now) / s.cfg.ClockHz
 
-	for bi, b := range s.banks {
-		b.Tick(now)
-		b.Drain(now)
-		s.auditBank(bi, b, now)
-		mergeBankStats(&r.Bank, b.Stats())
+	// Drain each chain top-down so an upper tier's final writebacks land
+	// in the tier below before that one drains in turn.
+	fi := 0
+	for _, chain := range s.tiers {
+		for _, t := range chain {
+			t.Tick(now)
+			t.Drain(now)
+			s.auditBank(fi, t, now)
+			fi++
+		}
+		mergeBankStats(&r.Bank, chain[0].Stats())
 	}
-	r.Power = power.FromBanks(s.banks, r.Seconds)
+	if len(s.hier) > 1 {
+		r.Tiers = s.tierResults()
+	}
+	r.Power = power.FromBanks(s.flat, r.Seconds)
 	r.DynamicEnergyJ = r.Power.DynamicEnergyJ()
 	r.DynamicPowerW = r.Power.DynamicW()
 	r.LeakagePowerW = r.Power.LeakageW
 	r.TotalPowerW = r.Power.TotalW()
 	return r
+}
+
+// tierResults rolls each hierarchy level up across the banks, appending
+// a DRAM row so a dump shows where every access in the stack landed.
+func (s *Simulator) tierResults() []TierResult {
+	out := make([]TierResult, 0, len(s.hier)+1)
+	for ti, t := range s.hier {
+		tr := TierResult{Level: fmt.Sprintf("l%d", ti+2), Kind: string(t.Kind)}
+		var hits uint64
+		for _, chain := range s.tiers {
+			st := chain[ti].Stats()
+			tr.Reads += st.Reads
+			tr.Writes += st.Writes
+			hits += st.ReadHits + st.WriteHits
+			tr.DynamicEnergyJ += chain[ti].Energy().Total()
+			tr.LeakageW += chain[ti].LeakageWatts()
+		}
+		if total := tr.Reads + tr.Writes; total > 0 {
+			tr.HitRate = float64(hits) / float64(total)
+		}
+		out = append(out, tr)
+	}
+	dr := TierResult{Level: "dram", Kind: "dram"}
+	var rowHits, rowMisses uint64
+	for _, mc := range s.mcs {
+		dr.Reads += mc.Stats.Reads
+		dr.Writes += mc.Stats.Writes
+		rowHits += mc.Stats.RowHits
+		rowMisses += mc.Stats.RowMisses
+	}
+	if total := rowHits + rowMisses; total > 0 {
+		dr.HitRate = float64(rowHits) / float64(total)
+	}
+	return append(out, dr)
 }
 
 func mergeCacheStats(dst *cache.Stats, src cache.Stats) {

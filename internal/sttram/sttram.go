@@ -174,6 +174,22 @@ func HRCell() Cell { return NewCell("STT-40ms", RetentionHR) }
 // LRCell returns the low-retention cell of the proposed LR part.
 func LRCell() Cell { return NewCell("STT-1ms", RetentionLR) }
 
+// RetentionL3WriteTuned is the write-tuned design point for a stacked
+// L3 tier: the shortest retention that still needs no refresh machinery
+// (an hour dwarfs any kernel), buying a shorter, cooler write pulse
+// than the archival cell.
+const RetentionL3WriteTuned = refreshNeededBelow
+
+// L3ReadTunedCell returns the read-tuned stacked-L3 design point:
+// archival retention, so read-mostly working sets sit below the L2
+// indefinitely at the cost of the full write pulse.
+func L3ReadTunedCell() Cell { return NewCell("STT-L3-RT", RetentionArchival) }
+
+// L3WriteTunedCell returns the write-tuned stacked-L3 design point:
+// retention relaxed to the refresh-free floor, trading retention margin
+// for write latency and energy.
+func L3WriteTunedCell() Cell { return NewCell("STT-L3-WT", RetentionL3WriteTuned) }
+
 // SRAMCell returns an SRAM "cell" in the same representation so the cache
 // model can treat technologies uniformly. SRAM has no retention limit and
 // symmetric, fast accesses, but pays heavy leakage.
