@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"sttllc/internal/config"
@@ -27,6 +28,7 @@ import (
 	"sttllc/internal/metrics"
 	"sttllc/internal/sim"
 	"sttllc/internal/sttram"
+	"sttllc/internal/trace"
 	"sttllc/internal/workloads"
 )
 
@@ -78,6 +80,28 @@ func suite() []struct {
 			cfg := config.C1()
 			sim.RunOne(cfg, spec, sim.Options{Metrics: metrics.NewRegistry(true)})
 		}},
+		// The sweep trio: the same eight-configuration bank sweep run
+		// three ways. RunOne is the execution-driven cost every sweep
+		// used to pay. RecordReplay is a cold trace-driven sweep (the
+		// recording run included). ReplayMany is the steady state the
+		// record-once/replay-many machinery actually operates in — the
+		// recording exists (sttserve's RecordingCache shares it across
+		// jobs; sttexp's Fig. 4/5/6 share it across experiments), so an
+		// 8-config sweep costs K bank replays. The RunOne/ReplayMany
+		// ratio is the speedup published in BENCH_replay.json (>= 4x).
+		{"SweepEightConfigsRunOne", func() {
+			spec := sweepSpec()
+			for _, cfg := range sweepEight() {
+				sim.RunOne(cfg, spec, sim.Options{})
+			}
+		}},
+		{"SweepRecordReplayCold", func() {
+			_, rec := sim.Record(config.BaselineSRAM(), sweepSpec(), sim.Options{})
+			sim.ReplayMany(rec, sweepEight())
+		}},
+		{"SweepReplayMany", func() {
+			sim.ReplayMany(sweepRecording(), sweepEight())
+		}},
 		// Two-tier stack: not in committed baselines yet, so the -check
 		// gate skips it automatically (only baseline-matched rows gate).
 		{"SimulatorThroughputL3", func() {
@@ -88,6 +112,41 @@ func suite() []struct {
 			sim.RunOne(cfg, spec, sim.Options{})
 		}},
 		{"WearLeveling", func() { experiments.WearLeveling(benchParams("bfs")) }},
+	}
+}
+
+// sweepSpec is the sweep rows' workload: bfs at a scale large enough
+// that per-sweep fixed costs (bank construction) don't drown the
+// per-access costs the rows are meant to compare.
+func sweepSpec() workloads.Spec {
+	spec, _ := workloads.ByName("bfs")
+	spec = spec.Scale(0.1)
+	spec.WarpsPerSM = 6
+	return spec
+}
+
+// sweepRecording is the shared reference stream the steady-state
+// replay row fans out — recorded once (measure()'s untimed warmup call
+// triggers it), exactly as the RecordingCache shares one recording
+// across a worker pool's jobs.
+var sweepRecording = sync.OnceValue(func() *trace.Recording {
+	_, rec := sim.Record(config.BaselineSRAM(), sweepSpec(), sim.Options{})
+	return rec
+})
+
+// sweepEight is the K=8 sweep the replay benchmarks fan out over: the
+// five paper configurations, the two stacked-L3 hierarchies, and one
+// C1 write-threshold variant (the Fig. 4 kind of knob).
+func sweepEight() []config.GPUConfig {
+	th7 := config.C1()
+	th7.Name = "C1-TH7"
+	th7.L2.WriteThreshold = 7
+	c1l3, _ := config.ByName("C1-L3")
+	c2l3, _ := config.ByName("C2-L3")
+	return []config.GPUConfig{
+		config.BaselineSRAM(), config.BaselineSTT(),
+		config.C1(), config.C2(), config.C3(),
+		c1l3, c2l3, th7,
 	}
 }
 

@@ -7,9 +7,18 @@
 //	sttexp -exp all                # everything (slow at full scale)
 //	sttexp -exp fig8 -scale 0.25   # one experiment, scaled down
 //	sttexp -exp fig3,fig6 -bench bfs,stencil
+//	sttexp -exp fig4,fig5 -replaysweeps        # record once, replay K-1 variants
+//	sttexp -exp fig4 -replay bfs.rec           # drive the sweep from a recording
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig8 ablation area
 // Extensions: power retention lrsize reliability wear runs
+//
+// -replaysweeps accelerates the bank-variant sweeps (fig4, fig5): each
+// workload is simulated once and its recorded L2 stream is replayed
+// into the remaining configurations; the sweep's normalization base
+// stays execution-driven. -replay goes further and replaces simulation
+// entirely with a recording produced by `sttsim -record` or
+// `stttrace -record`; it applies to fig4, fig5, and fig6 only.
 //
 // "runs" emits per-run sttllc-stats/v1 dumps (see internal/sim's
 // StatsDump) for every configuration x benchmark pair; combine with
@@ -31,6 +40,7 @@ import (
 	"sttllc/internal/experiments"
 	"sttllc/internal/plot"
 	"sttllc/internal/sttram"
+	"sttllc/internal/trace"
 )
 
 // fig8Chart renders one Figure 8 metric as grouped ASCII bars.
@@ -60,6 +70,8 @@ func main() {
 		chart   = flag.Bool("chart", false, "render Figure 8 as ASCII bar charts")
 		timeout = flag.Duration("timeout", 0, "bound total wall time; on expiry (or Ctrl-C) skip remaining experiments (0 = none)")
 		withL3  = flag.Bool("l3", false, "include the stacked-L3 configurations (C1-L3, C2-L3) in the runs sweep")
+		replayS = flag.Bool("replaysweeps", false, "accelerate fig4/fig5 bank sweeps: record each workload once, replay the variants")
+		replayF = flag.String("replay", "", "drive fig4/fig5/fig6 from a recording file instead of simulating (see sttsim -record)")
 	)
 	flag.Parse()
 
@@ -74,7 +86,7 @@ func main() {
 		defer cancel()
 	}
 
-	p := experiments.Params{Scale: *scale, WarpsPerSM: *warps, Context: ctx}
+	p := experiments.Params{Scale: *scale, WarpsPerSM: *warps, Context: ctx, ReplaySweeps: *replayS}
 	if *benches != "" {
 		p.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -84,6 +96,29 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
+
+	if *replayF != "" {
+		// A recording replaces simulation, and only the bank-sweep
+		// experiments can be driven from one: everything else needs SMs.
+		for name := range want {
+			if name != "fig4" && name != "fig5" && name != "fig6" {
+				fmt.Fprintf(os.Stderr, "sttexp: -replay drives fig4/fig5/fig6 only (got %q)\n", name)
+				os.Exit(2)
+			}
+		}
+		f, err := os.Open(*replayF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sttexp: %v\n", err)
+			os.Exit(1)
+		}
+		rec, err := trace.ReadRecording(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sttexp: reading recording: %v\n", err)
+			os.Exit(1)
+		}
+		p.ReplayTrace = rec
+	}
 
 	jsonOut := map[string]any{}
 	run := func(name string, fn func()) {

@@ -9,7 +9,14 @@
 //	sttsim -config C2 -bench bfs -trace out.json     # Perfetto timeline
 //	sttsim -config C2 -bench bfs -stats-json -       # machine-readable stats
 //	sttsim -config C2 -bench bfs -timeout 30s        # bound wall time
+//	sttsim -config C1 -bench bfs -record bfs.rec     # save the L2 stream
 //	sttsim -list
+//
+// -record captures the run's L2 reference stream (with its warmup
+// boundary and kernel-phase markers) to a recording file that
+// `stttrace -replay` and `sttexp -replay` can fan out across bank
+// configurations without re-running the SMs. Recording does not perturb
+// the run: the reported result is byte-identical either way.
 //
 // Ctrl-C (or an expired -timeout) stops the run at the simulator's next
 // periodic cancellation check; the partial result simulated so far is
@@ -28,6 +35,7 @@ import (
 	"sttllc/internal/experiments"
 	"sttllc/internal/metrics"
 	"sttllc/internal/sim"
+	"sttllc/internal/trace"
 	"sttllc/internal/workloads"
 )
 
@@ -47,6 +55,7 @@ func main() {
 		l3KB      = flag.Int("l3", 0, "stack an STT-MRAM L3 of this many KB (total across banks) behind the L2 (0 = none)")
 		l3Ways    = flag.Int("l3ways", 0, "L3 associativity (0 = default 8; needs -l3)")
 		l3Variant = flag.String("l3variant", "read-tuned", "L3 cell flavor: read-tuned or write-tuned (needs -l3)")
+		recordOut = flag.String("record", "", "write the run's L2 reference stream to this recording file (replayable by stttrace/sttexp -replay)")
 	)
 	flag.Parse()
 
@@ -107,7 +116,15 @@ func main() {
 				app.Kernels[i].WarpsPerSM = *warps
 			}
 		}
-		ar, err := sim.RunAppContext(ctx, cfg, app, opts)
+		var ar sim.AppResult
+		var err error
+		if *recordOut != "" {
+			var rec *trace.Recording
+			ar, rec, err = sim.RecordAppContext(ctx, cfg, app, opts)
+			writeRecording(*recordOut, rec, err)
+		} else {
+			ar, err = sim.RunAppContext(ctx, cfg, app, opts)
+		}
 		reportPartial(err)
 		writeTrace(*traceOut, opts.Tracer)
 		if *statsOut != "" {
@@ -134,7 +151,15 @@ func main() {
 	}
 
 	opts.WarmupInstructions = *warmup
-	r, err := sim.RunOneContext(ctx, cfg, spec, opts)
+	var r sim.Result
+	var err error
+	if *recordOut != "" {
+		var rec *trace.Recording
+		r, rec, err = sim.RecordContext(ctx, cfg, spec, opts)
+		writeRecording(*recordOut, rec, err)
+	} else {
+		r, err = sim.RunOneContext(ctx, cfg, spec, opts)
+	}
 	reportPartial(err)
 	writeTrace(*traceOut, opts.Tracer)
 	if *statsOut != "" {
@@ -156,6 +181,26 @@ func reportPartial(err error) {
 	default:
 		fmt.Fprintf(os.Stderr, "sttsim: run stopped early (%v) — results below are PARTIAL\n", err)
 	}
+}
+
+// writeRecording persists the run's L2 reference stream. A partial run
+// is not persisted: its stream ends mid-workload, and replaying it
+// would silently produce truncated statistics.
+func writeRecording(path string, rec *trace.Recording, runErr error) {
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "sttsim: run was interrupted — not writing partial recording to %s\n", path)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	if err := trace.WriteRecording(f, rec); err != nil {
+		fail("writing recording: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "sttsim: recorded %d L2 accesses (%s) to %s\n",
+		len(rec.Records), rec.Workload, path)
 }
 
 // writeTrace serializes the run's timeline, if one was recorded.

@@ -12,7 +12,13 @@
 //	stttrace -bench bfs [-warps 64] [-scale 1.0] [-dump 20]
 //	stttrace -bench bfs -record trace.bin [-config C1]
 //	stttrace -replay trace.bin -config C2
+//	stttrace -replay trace.bin -config C1,C2,C3       # one pass, K configs
 //	stttrace -replay trace.bin -config C2 -stats-json -
+//
+// Recordings are written in the v2 format (workload identity, warmup
+// boundary, kernel phases); -replay also accepts bare v1 streams.
+// Naming several comma-separated configurations replays the stream into
+// all of them in a single pass (sim.ReplayMany).
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"sttllc/internal/config"
 	"sttllc/internal/experiments"
@@ -36,7 +43,7 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
 		dump      = flag.Int("dump", 0, "print the first N instructions of warp 0")
 		record    = flag.String("record", "", "run the simulator and record the L2 trace to this file")
-		replay    = flag.String("replay", "", "replay a recorded trace into banks of -config")
+		replay    = flag.String("replay", "", "replay a recorded trace into banks of -config (comma-separate several configs for a single-pass sweep)")
 		cfgName   = flag.String("config", "C1", "configuration for -record/-replay")
 		suite     = flag.Bool("suite", false, "print the parameter table of the whole benchmark suite")
 		statsOut  = flag.String("stats-json", "", "with -replay: write the sttllc-stats/v1 dump to this file ('-' = stdout)")
@@ -154,8 +161,9 @@ func main() {
 	}
 }
 
-// recordTrace runs the benchmark on the configuration, recording L2
-// traffic.
+// recordTrace runs the benchmark on the configuration, recording the
+// L2 reference stream with its metadata (workload identity, warmup
+// boundary, kernel phase) in the v2 recording format.
 func recordTrace(spec workloads.Spec, cfgName, path string) {
 	cfg, ok := config.ByName(cfgName)
 	if !ok {
@@ -168,35 +176,54 @@ func recordTrace(spec workloads.Spec, cfgName, path string) {
 		os.Exit(1)
 	}
 	defer f.Close()
-	w := trace.NewWriter(f)
-	r := sim.RunOne(cfg, spec, sim.Options{TraceWriter: w})
-	if err := w.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "stttrace: flush: %v\n", err)
+	r, rec := sim.Record(cfg, spec, sim.Options{})
+	if err := trace.WriteRecording(f, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: writing recording: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("recorded %d L2 accesses over %d cycles (%s on %s) to %s\n",
-		w.Count(), r.Cycles, spec.Name, cfg.Name, path)
+		len(rec.Records), r.Cycles, spec.Name, cfg.Name, path)
 }
 
-// replayTrace drives a recorded trace into the named configuration.
-func replayTrace(path, cfgName, statsOut string) {
-	cfg, ok := config.ByName(cfgName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "stttrace: unknown configuration %q\n", cfgName)
+// resolveConfigs parses the -config value: one name, or a
+// comma-separated sweep.
+func resolveConfigs(cfgName string) []config.GPUConfig {
+	var cfgs []config.GPUConfig
+	for _, name := range strings.Split(cfgName, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cfg, ok := config.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "stttrace: unknown configuration %q\n", name)
+			os.Exit(2)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	if len(cfgs) == 0 {
+		fmt.Fprintln(os.Stderr, "stttrace: no configuration named")
 		os.Exit(2)
 	}
+	return cfgs
+}
+
+// replayTrace drives a recorded trace into the named configurations in
+// one pass over the stream.
+func replayTrace(path, cfgName, statsOut string) {
+	cfgs := resolveConfigs(cfgName)
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stttrace: %v\n", err)
 		os.Exit(1)
 	}
 	defer f.Close()
-	recs, err := trace.ReadAll(f)
+	rec, err := trace.ReadRecording(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stttrace: decode: %v\n", err)
 		os.Exit(1)
 	}
-	r := sim.Replay(cfg, recs)
+	rs := sim.ReplayMany(rec, cfgs)
 	if statsOut != "" {
 		w := os.Stdout
 		if statsOut != "-" {
@@ -208,14 +235,27 @@ func replayTrace(path, cfgName, statsOut string) {
 			defer out.Close()
 			w = out
 		}
-		if err := r.Dump().WriteJSON(w); err != nil {
+		// One config keeps the historical single-dump shape; a sweep
+		// emits the multi-run array form.
+		if len(rs) == 1 {
+			err = rs[0].Dump().WriteJSON(w)
+		} else {
+			dumps := make([]sim.StatsDump, len(rs))
+			for i, r := range rs {
+				dumps[i] = r.Dump()
+			}
+			err = sim.WriteStatsDumps(w, dumps)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "stttrace: stats dump: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	fmt.Printf("replayed %d accesses into %s\n", len(recs), cfg.Name)
-	fmt.Print(experiments.RunResultString(r))
+	for i, r := range rs {
+		fmt.Printf("replayed %d accesses into %s\n", len(rec.Records), cfgs[i].Name)
+		fmt.Print(experiments.RunResultString(r))
+	}
 }
 
 // printSuite renders the per-benchmark parameter table.

@@ -92,41 +92,66 @@ type Fig4Row struct {
 // Fig4Thresholds are the paper's sweep points.
 var Fig4Thresholds = []uint8{1, 3, 7, 15}
 
-// Fig4 sweeps the migration write threshold.
+// fig4Configs builds the threshold sweep's configuration variants (C1
+// geometry, one per threshold). The first entry is the normalization
+// base, which is also what replay-mode sweeps record under.
+func fig4Configs(thresholds []uint8) []config.GPUConfig {
+	cfgs := make([]config.GPUConfig, len(thresholds))
+	for i, th := range thresholds {
+		cfg := config.C1()
+		cfg.L2.WriteThreshold = th
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+// fig4Rows folds one benchmark's sweep results into normalized rows.
+func fig4Rows(name string, thresholds []uint8, rs []sim.Result, rows []Fig4Row) {
+	type meas struct {
+		ratio  float64
+		writes float64
+	}
+	ms := make([]meas, len(rs))
+	for i, r := range rs {
+		lr := float64(r.Bank.LRWrites())
+		hr := float64(r.Bank.HRWrites())
+		ratio := lr // all-LR degenerate case
+		if hr > 0 {
+			ratio = lr / hr
+		}
+		ms[i] = meas{ratio: ratio, writes: float64(r.Bank.ArrayWrites())}
+	}
+	base := ms[0]
+	for i, th := range thresholds {
+		row := Fig4Row{Benchmark: name, Threshold: th}
+		if base.ratio > 0 {
+			row.LRHRRatio = ms[i].ratio / base.ratio
+		}
+		if base.writes > 0 {
+			row.WriteOverhead = ms[i].writes / base.writes
+		}
+		rows[i] = row
+	}
+}
+
+// Fig4 sweeps the migration write threshold. With p.ReplaySweeps each
+// benchmark records once under the TH=1 base and replays the stream
+// into the other thresholds; with p.ReplayTrace the sweep covers just
+// the pre-recorded stream, replayed into every threshold.
 func Fig4(p Params, thresholds []uint8) []Fig4Row {
 	if len(thresholds) == 0 {
 		thresholds = Fig4Thresholds
 	}
+	cfgs := fig4Configs(thresholds)
+	if rec := p.ReplayTrace; rec != nil {
+		rows := make([]Fig4Row, len(thresholds))
+		fig4Rows(replayLabel(rec), thresholds, sim.ReplayMany(rec, cfgs), rows)
+		return rows
+	}
 	rows := make([]Fig4Row, len(p.specs())*len(thresholds))
 	forEachSpec(p, func(si int, spec workloads.Spec) {
-		type meas struct {
-			ratio  float64
-			writes float64
-		}
-		ms := make([]meas, 0, len(thresholds))
-		for _, th := range thresholds {
-			cfg := config.C1()
-			cfg.L2.WriteThreshold = th
-			r := run(cfg, spec, p)
-			lr := float64(r.Bank.LRWrites())
-			hr := float64(r.Bank.HRWrites())
-			ratio := lr // all-LR degenerate case
-			if hr > 0 {
-				ratio = lr / hr
-			}
-			ms = append(ms, meas{ratio: ratio, writes: float64(r.Bank.ArrayWrites())})
-		}
-		base := ms[0]
-		for i, th := range thresholds {
-			row := Fig4Row{Benchmark: spec.Name, Threshold: th}
-			if base.ratio > 0 {
-				row.LRHRRatio = ms[i].ratio / base.ratio
-			}
-			if base.writes > 0 {
-				row.WriteOverhead = ms[i].writes / base.writes
-			}
-			rows[si*len(thresholds)+i] = row
-		}
+		rs := sweepBankVariants(spec, cfgs, 0, p)
+		fig4Rows(spec.Name, thresholds, rs, rows[si*len(thresholds):(si+1)*len(thresholds)])
 	})
 	return rows
 }
@@ -161,39 +186,61 @@ type Fig5Row struct {
 // reference).
 var Fig5Ways = []int{1, 2, 4, 8, 16}
 
+// fig5Configs builds the associativity sweep's variants: the
+// fully-associative reference first (the normalization base and the
+// replay-mode recording configuration), then one variant per way count.
+func fig5Configs(ways []int) []config.GPUConfig {
+	cfgs := make([]config.GPUConfig, 0, len(ways)+1)
+	for _, w := range append([]int{0}, ways...) {
+		cfg := config.C1()
+		if w == 0 {
+			// Fully associative: one set holding every LR line per bank.
+			cfg.L2.LRWays = cfg.L2.LRBytes / cfg.NumBanks / cfg.LineBytes
+		} else {
+			cfg.L2.LRWays = w
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// fig5Rows folds one benchmark's sweep results — the fully-associative
+// reference at rs[0], then one result per way count — into rows
+// normalized against the reference.
+func fig5Rows(name string, ways []int, rs []sim.Result, rows []Fig5Row) {
+	// Utilization: how often a rewrite finds its block still resident
+	// in the LR part. Conflict evictions in low-associativity LR
+	// organizations bounce WWS blocks back to HR between rewrites.
+	ref := rs[0].Bank.LRRewriteHitShare()
+	for i, w := range ways {
+		u := 0.0
+		if ref > 0 {
+			u = rs[i+1].Bank.LRRewriteHitShare() / ref
+		}
+		rows[i] = Fig5Row{Benchmark: name, Ways: w, Utilization: u}
+	}
+}
+
 // Fig5 sweeps LR associativity against a fully-associative reference.
+// With p.ReplaySweeps each benchmark records once under the reference
+// and replays the stream into the way variants; with p.ReplayTrace the
+// sweep covers just the pre-recorded stream.
 func Fig5(p Params, ways []int) []Fig5Row {
 	if len(ways) == 0 {
 		ways = Fig5Ways
 	}
+	cfgs := fig5Configs(ways)
+	if rec := p.ReplayTrace; rec != nil {
+		rows := make([]Fig5Row, len(ways))
+		fig5Rows(replayLabel(rec), ways, sim.ReplayMany(rec, cfgs), rows)
+		return rows
+	}
 	rows := make([]Fig5Row, len(p.specs())*len(ways))
 	forEachSpec(p, func(si int, spec workloads.Spec) {
-		ref := lrShareWithWays(spec, 0, p)
-		for i, w := range ways {
-			share := lrShareWithWays(spec, w, p)
-			u := 0.0
-			if ref > 0 {
-				u = share / ref
-			}
-			rows[si*len(ways)+i] = Fig5Row{Benchmark: spec.Name, Ways: w, Utilization: u}
-		}
+		rs := sweepBankVariants(spec, cfgs, 0, p)
+		fig5Rows(spec.Name, ways, rs, rows[si*len(ways):(si+1)*len(ways)])
 	})
 	return rows
-}
-
-func lrShareWithWays(spec workloads.Spec, ways int, p Params) float64 {
-	cfg := config.C1()
-	if ways == 0 {
-		// Fully associative: one set holding every LR line per bank.
-		cfg.L2.LRWays = cfg.L2.LRBytes / cfg.NumBanks / cfg.LineBytes
-	} else {
-		cfg.L2.LRWays = ways
-	}
-	r := run(cfg, spec, p)
-	// Utilization: how often a rewrite finds its block still resident
-	// in the LR part. Conflict evictions in low-associativity LR
-	// organizations bounce WWS blocks back to HR between rewrites.
-	return r.Bank.LRRewriteHitShare()
 }
 
 // FormatFig5 renders the associativity sweep.
@@ -222,9 +269,18 @@ type Fig6Row struct {
 // Fig6BucketLabels name the histogram columns.
 var Fig6BucketLabels = []string{"<=1us", "<=5us", "<=10us", "<=1ms", "<=2.5ms", ">2.5ms"}
 
-// Fig6 measures LR rewrite intervals under C1.
+// Fig6 measures LR rewrite intervals under C1. With p.ReplayTrace the
+// single row comes from replaying the pre-recorded stream into C1.
 func Fig6(p Params) []Fig6Row {
 	cfg := config.C1()
+	if rec := p.ReplayTrace; rec != nil {
+		r := sim.ReplayMany(rec, []config.GPUConfig{cfg})[0]
+		return []Fig6Row{{
+			Benchmark: replayLabel(rec),
+			Fractions: r.Bank.RewriteIntervals.Fractions(),
+			Samples:   r.Bank.RewriteIntervals.N,
+		}}
+	}
 	rows := make([]Fig6Row, len(p.specs()))
 	forEachSpec(p, func(i int, spec workloads.Spec) {
 		r := run(cfg, spec, p)

@@ -17,6 +17,7 @@ import (
 	"sttllc/internal/config"
 	"sttllc/internal/core"
 	"sttllc/internal/sim"
+	"sttllc/internal/trace"
 	"sttllc/internal/workloads"
 )
 
@@ -48,6 +49,24 @@ type Params struct {
 	// that honor Context should tell their users the sweep was cut
 	// short (sttexp does).
 	Context context.Context
+	// ReplaySweeps switches per-benchmark configuration sweeps (Fig. 4's
+	// threshold sweep, Fig. 5's associativity sweep) to record-once/
+	// replay-many mode: each benchmark simulates in full once under the
+	// sweep's base configuration, and every variant is evaluated by
+	// replaying the recorded L2 stream into fresh banks (sim.ReplayMany).
+	// The base configuration's measurement comes from the recording run
+	// itself and is exact; variant measurements are trace-driven
+	// approximations — the stream was shaped by the base configuration's
+	// timing (see DESIGN.md §13). Off by default, so existing sweeps stay
+	// execution-driven and byte-identical to earlier releases.
+	ReplaySweeps bool
+	// ReplayTrace, when non-nil, replaces live simulation entirely for
+	// the sweeps that support it (Fig. 4, 5, and 6): every configuration
+	// — base included — is evaluated by replaying this pre-recorded
+	// stream, and the sweep covers the recording's single workload
+	// instead of the benchmark suite. This is what `sttexp -replay
+	// <file>` feeds.
+	ReplayTrace *trace.Recording
 }
 
 func (p Params) ctx() context.Context {
@@ -96,6 +115,44 @@ func (p Params) opts() sim.Options {
 func run(cfg config.GPUConfig, spec workloads.Spec, p Params) sim.Result {
 	r, _ := sim.RunOneContext(p.ctx(), cfg, spec, p.opts())
 	return r
+}
+
+// replayLabel names the rows a pre-recorded stream produces.
+func replayLabel(rec *trace.Recording) string {
+	if rec.Workload != "" {
+		return rec.Workload
+	}
+	return "trace"
+}
+
+// sweepBankVariants evaluates one benchmark under K configuration
+// variants and returns one Result per variant, in order. In
+// execution-driven mode (the default) every variant simulates in full.
+// With p.ReplaySweeps the benchmark's L2 stream is recorded once under
+// cfgs[base] and fanned out to the other variants in a single replay
+// pass; the base entry is the recording run's own (exact) result, so
+// sweeps that normalize against the base keep an execution-driven
+// reference. A cancelled context yields partial results either way.
+func sweepBankVariants(spec workloads.Spec, cfgs []config.GPUConfig, base int, p Params) []sim.Result {
+	if !p.ReplaySweeps {
+		out := make([]sim.Result, len(cfgs))
+		for i, cfg := range cfgs {
+			out[i] = run(cfg, spec, p)
+		}
+		return out
+	}
+	live, rec, err := sim.RecordContext(p.ctx(), cfgs[base], spec, p.opts())
+	if err != nil {
+		// Cut short: a partial recording must not masquerade as the
+		// full stream, so variants stay zero and only the base row
+		// carries the partial run.
+		out := make([]sim.Result, len(cfgs))
+		out[base] = live
+		return out
+	}
+	out := sim.ReplayMany(rec, cfgs)
+	out[base] = live
+	return out
 }
 
 // runPanic is a panic captured from one benchmark evaluation: which

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sttllc/internal/sim"
+	"sttllc/internal/trace"
+	"sttllc/internal/workloads"
+)
+
+// recordTiny records the tiny bfs benchmark under the C1 base of the
+// Fig. 4 sweep, for driving ReplayTrace-mode experiments.
+func recordTiny(t *testing.T) *trace.Recording {
+	t.Helper()
+	spec, ok := workloads.ByName("bfs")
+	if !ok {
+		t.Fatal("bfs missing from the suite")
+	}
+	spec = spec.Scale(0.04)
+	spec.WarpsPerSM = 6
+	_, rec := sim.Record(fig4Configs(Fig4Thresholds)[0], spec, sim.Options{})
+	return rec
+}
+
+func TestSweepBankVariantsReplayBaseIsExact(t *testing.T) {
+	// The exact-base property: in replay mode, the base configuration's
+	// entry is the recording run itself, byte-identical to an
+	// execution-driven run of the base.
+	p := tiny("bfs")
+	spec := p.specs()[0]
+	cfgs := fig4Configs(Fig4Thresholds)
+	driven := sweepBankVariants(spec, cfgs, 0, p)
+	p.ReplaySweeps = true
+	replayed := sweepBankVariants(spec, cfgs, 0, p)
+	if len(replayed) != len(cfgs) {
+		t.Fatalf("replay sweep returned %d results for %d configs", len(replayed), len(cfgs))
+	}
+	dj, _ := json.Marshal(driven[0].Dump())
+	rj, _ := json.Marshal(replayed[0].Dump())
+	if string(dj) != string(rj) {
+		t.Errorf("replay-mode base differs from execution-driven base\n got %s\nwant %s", rj, dj)
+	}
+	// Variants are approximations but must carry real bank traffic.
+	for i, r := range replayed[1:] {
+		if r.Bank.Reads+r.Bank.Writes == 0 {
+			t.Errorf("variant %d saw no traffic", i+1)
+		}
+	}
+}
+
+func TestFig4ReplaySweep(t *testing.T) {
+	p := tiny("bfs")
+	p.ReplaySweeps = true
+	rows := Fig4(p, nil)
+	if len(rows) != len(Fig4Thresholds) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Fig4Thresholds))
+	}
+	if rows[0].LRHRRatio != 1 || rows[0].WriteOverhead != 1 {
+		t.Errorf("base row not normalized: %+v", rows[0])
+	}
+	// Replay-mode sweeps are deterministic run to run.
+	again := Fig4(p, nil)
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Errorf("row %d not deterministic: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+}
+
+func TestFig5ReplaySweep(t *testing.T) {
+	p := tiny("bfs")
+	p.ReplaySweeps = true
+	rows := Fig5(p, nil)
+	if len(rows) != len(Fig5Ways) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Fig5Ways))
+	}
+	for _, r := range rows {
+		if r.Utilization < 0 || r.Utilization > 2 {
+			t.Errorf("implausible utilization: %+v", r)
+		}
+	}
+}
+
+func TestReplayTraceDrivesSweeps(t *testing.T) {
+	// A pre-recorded stream replaces live simulation for Fig. 4/5/6:
+	// one row set per sweep, labeled with the recording's workload.
+	rec := recordTiny(t)
+	p := Params{ReplayTrace: rec}
+	f4 := Fig4(p, nil)
+	if len(f4) != len(Fig4Thresholds) {
+		t.Fatalf("fig4 rows = %d, want %d", len(f4), len(Fig4Thresholds))
+	}
+	for _, r := range f4 {
+		if r.Benchmark != "bfs" {
+			t.Errorf("fig4 row labeled %q, want bfs", r.Benchmark)
+		}
+	}
+	f5 := Fig5(p, nil)
+	if len(f5) != len(Fig5Ways) {
+		t.Fatalf("fig5 rows = %d, want %d", len(f5), len(Fig5Ways))
+	}
+	f6 := Fig6(p)
+	if len(f6) != 1 || f6[0].Benchmark != "bfs" || f6[0].Samples == 0 {
+		t.Errorf("fig6 rows = %+v", f6)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"sttllc/internal/config"
 	"sttllc/internal/metrics"
 	"sttllc/internal/sim"
 	"sttllc/internal/workloads"
@@ -72,6 +73,55 @@ func (j *job) terminal() bool {
 	return j.state == jobDone || j.state == jobFailed || j.state == jobCancelled
 }
 
+// benchSpec resolves a request's benchmark with its scale and warp
+// overrides applied — the same resolution runSimulation uses, factored
+// out so the replay path records exactly the stream the full run would
+// generate.
+func (r SimulationRequest) benchSpec() workloads.Spec {
+	spec, ok := workloads.ByName(r.Bench)
+	if !ok {
+		panic("server: job with unknown benchmark " + r.Bench)
+	}
+	if r.Scale > 0 && r.Scale != 1.0 {
+		spec = spec.Scale(r.Scale)
+	}
+	if r.Warps > 0 {
+		spec.WarpsPerSM = r.Warps
+	}
+	return spec
+}
+
+// runSimulation dispatches one job: replay jobs ride the shared
+// recording cache, everything else runs the execution-driven path.
+func (s *Server) runSimulation(ctx context.Context, req SimulationRequest) (*sim.StatsDump, error) {
+	if req.Replay {
+		return s.runReplay(ctx, req)
+	}
+	return runSimulation(ctx, req)
+}
+
+// runReplay serves a replay job: fetch (or record) the workload's
+// reference stream under the canonical baseline configuration, then
+// replay it into the requested one. The recording is keyed by workload
+// content, so N configurations of the same benchmark share one full
+// simulation; the replays themselves are cheap bank passes.
+func (s *Server) runReplay(ctx context.Context, req SimulationRequest) (*sim.StatsDump, error) {
+	cfg, err := req.gpuConfig()
+	if err != nil {
+		// validate() runs before enqueue; reaching this is a server bug.
+		panic("server: job with invalid config: " + err.Error())
+	}
+	opts := sim.Options{MaxCycles: req.MaxCycles, WarmupInstructions: req.Warmup}
+	_, rec, _, err := s.recordings.Get(ctx, config.BaselineSRAM(), req.benchSpec(), opts)
+	if err != nil {
+		return nil, err
+	}
+	r := sim.ReplayMany(rec, []config.GPUConfig{cfg})[0]
+	s.replayJobs.Add(1)
+	d := r.Dump()
+	return &d, nil
+}
+
 // runSimulation executes one request exactly the way cmd/sttsim does —
 // same spec scaling, same option wiring, an enabled metrics registry —
 // so the resulting StatsDump is byte-identical to `sttsim -stats-json`
@@ -108,16 +158,7 @@ func runSimulation(ctx context.Context, req SimulationRequest) (*sim.StatsDump, 
 		return &d, nil
 	}
 
-	spec, ok := workloads.ByName(req.Bench)
-	if !ok {
-		panic("server: job with unknown benchmark " + req.Bench)
-	}
-	if req.Scale > 0 && req.Scale != 1.0 {
-		spec = spec.Scale(req.Scale)
-	}
-	if req.Warps > 0 {
-		spec.WarpsPerSM = req.Warps
-	}
+	spec := req.benchSpec()
 	opts.WarmupInstructions = req.Warmup
 	r, err := sim.RunOneContext(ctx, cfg, spec, opts)
 	if err != nil {

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"sttllc/internal/sim"
+)
+
+func mustJSON(t *testing.T, d sim.StatsDump) string {
+	t.Helper()
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// replayReq is tinyReq with the replay flag set.
+func replayReq(bench, cfg string) SimulationRequest {
+	r := tinyReq(bench)
+	r.Config = cfg
+	r.Replay = true
+	return r
+}
+
+func TestReplayFlagChangesTheKey(t *testing.T) {
+	// Opting into replay must never collide with an execution-driven
+	// job's cache entry: the dumps differ by construction.
+	full := tinyReq("bfs")
+	rep := replayReq("bfs", "C2")
+	if full.Key() == rep.Key() {
+		t.Error("replay request shares the full-run cache key")
+	}
+	// And the flag's absence leaves legacy keys untouched: a false flag
+	// marshals to nothing, so the canonical encoding is unchanged.
+	withFlag := full
+	withFlag.Replay = false
+	if withFlag.Key() != full.Key() {
+		t.Error("explicit replay=false changed the key")
+	}
+}
+
+func TestReplayRejectsApplications(t *testing.T) {
+	req := SimulationRequest{Config: "C1", App: "srad-pipeline", Replay: true}
+	if err := req.validate(); err == nil {
+		t.Error("replay app request validated")
+	}
+}
+
+func TestReplayJobsShareOneRecording(t *testing.T) {
+	// The worker-pool payoff: K configurations of one workload cost one
+	// recording run; every job replays the shared stream.
+	s := newTestServer(t, Config{Workers: 2})
+	h := s.Handler()
+	for _, cfg := range []string{"C1", "C2", "C3"} {
+		rec, st := postJSON(t, h, "/v1/simulations?wait=true", replayReq("bfs", cfg))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: POST = %d %s", cfg, rec.Code, rec.Body.String())
+		}
+		if st.State != "done" || st.Result == nil {
+			t.Fatalf("%s: job = %+v", cfg, st)
+		}
+		if st.Result.Config != cfg {
+			t.Errorf("dump config = %q, want %q", st.Result.Config, cfg)
+		}
+		if st.Result.L2.Reads+st.Result.L2.Writes == 0 {
+			t.Errorf("%s: replay dump carries no bank traffic", cfg)
+		}
+		if st.Result.IPC != 0 || st.Result.Instructions != 0 {
+			t.Errorf("%s: replay dump claims SM activity: %+v", cfg, st.Result)
+		}
+	}
+	if got := counter(t, s, "server.replay_jobs_total"); got != 3 {
+		t.Errorf("replay_jobs_total = %d, want 3", got)
+	}
+	if got := counter(t, s, "server.recording_misses_total"); got != 1 {
+		t.Errorf("recording_misses_total = %d, want 1 (one shared recording)", got)
+	}
+	if got := counter(t, s, "server.recording_hits_total"); got != 2 {
+		t.Errorf("recording_hits_total = %d, want 2", got)
+	}
+	if got := counter(t, s, "server.recordings_cached"); got != 1 {
+		t.Errorf("recordings_cached = %d, want 1", got)
+	}
+}
+
+func TestReplayDoesNotPerturbFullRuns(t *testing.T) {
+	// A replay job and a full job of the same parameters coexist: the
+	// full run's dump stays byte-identical to a server that never saw a
+	// replay request.
+	ref := newTestServer(t, Config{Workers: 1})
+	_, refSt := postJSON(t, ref.Handler(), "/v1/simulations?wait=true", tinyReq("bfs"))
+
+	s := newTestServer(t, Config{Workers: 1})
+	h := s.Handler()
+	if rec, _ := postJSON(t, h, "/v1/simulations?wait=true", replayReq("bfs", "C2")); rec.Code != http.StatusOK {
+		t.Fatalf("replay POST = %d", rec.Code)
+	}
+	_, fullSt := postJSON(t, h, "/v1/simulations?wait=true", tinyReq("bfs"))
+	if fullSt.Result == nil || refSt.Result == nil {
+		t.Fatal("missing results")
+	}
+	a, b := *fullSt.Result, *refSt.Result
+	aj, bj := mustJSON(t, a), mustJSON(t, b)
+	if aj != bj {
+		t.Errorf("full-run dump changed on a server that served replays\n got %s\nwant %s", aj, bj)
+	}
+}

@@ -55,6 +55,16 @@ type SimulationRequest struct {
 	// and the server clamps it to its configured maximum. 0 means the
 	// server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Replay opts the job into trace-driven evaluation (benchmarks
+	// only): the benchmark's L2 reference stream is recorded once under
+	// the canonical baseline configuration — shared across every replay
+	// job naming the same workload content — and replayed into the
+	// requested configuration. Replay dumps carry bank and power
+	// statistics only (no SMs run, so IPC is zero) and are trace-driven
+	// approximations of a full run (DESIGN.md §13). Off by default;
+	// default jobs keep their execution-driven, CLI-identical semantics
+	// and their historical cache keys.
+	Replay bool `json:"replay,omitempty"`
 }
 
 // normalize maps every equivalent request onto one canonical form: the
@@ -152,6 +162,9 @@ func (r SimulationRequest) validate() error {
 		if _, ok := workloads.AppByName(r.App); !ok {
 			return fmt.Errorf("unknown application %q", r.App)
 		}
+	}
+	if r.Replay && r.App != "" {
+		return fmt.Errorf("replay supports benchmarks only")
 	}
 	if r.Scale < 0 {
 		return fmt.Errorf("scale must be >= 0")

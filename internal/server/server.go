@@ -80,6 +80,12 @@ type Server struct {
 	// runFn executes one job; tests substitute controllable stand-ins.
 	runFn func(ctx context.Context, req SimulationRequest) (*sim.StatsDump, error)
 
+	// recordings shares reference-stream recordings across replay jobs:
+	// K jobs sweeping K configurations over one workload cost one
+	// recording run plus K cheap replays (see sim.RecordingCache).
+	recordings *sim.RecordingCache
+	replayJobs atomic.Uint64
+
 	// Scrape-safe counters: workers add with atomics, the registry
 	// reads through Load closures, so /metrics never races a job.
 	submitted    atomic.Uint64
@@ -106,13 +112,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		reg:      metrics.NewRegistry(true),
-		runFn:    runSimulation,
-		inflight: make(map[string]*job),
-		finished: newJobLRU(cfg.CacheEntries),
-		queue:    make(chan *job, cfg.QueueDepth),
+		cfg:        cfg,
+		reg:        metrics.NewRegistry(true),
+		inflight:   make(map[string]*job),
+		finished:   newJobLRU(cfg.CacheEntries),
+		queue:      make(chan *job, cfg.QueueDepth),
+		recordings: sim.NewRecordingCache(cfg.CacheEntries),
 	}
+	s.runFn = s.runSimulation
 	s.registerMetrics()
 	s.routes()
 	s.wg.Add(cfg.Workers)
@@ -149,6 +156,21 @@ func (s *Server) registerMetrics() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return uint64(s.finished.len())
+	})
+	// Replay-mode observability: how many jobs rode a recording instead
+	// of a full simulation, how many recordings exist, and how often a
+	// replay job found its workload's stream already recorded.
+	r.RegisterFunc("server.replay_jobs_total", s.replayJobs.Load)
+	r.RegisterFunc("server.recordings_cached", func() uint64 {
+		return uint64(s.recordings.Len())
+	})
+	r.RegisterFunc("server.recording_hits_total", func() uint64 {
+		hits, _ := s.recordings.Stats()
+		return hits
+	})
+	r.RegisterFunc("server.recording_misses_total", func() uint64 {
+		_, misses := s.recordings.Stats()
+		return misses
 	})
 }
 

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"sttllc/internal/config"
+	"sttllc/internal/trace"
+	"sttllc/internal/workloads"
+)
+
+// RecordingKey is the content address of a reference-stream recording:
+// it covers the recording configuration, the workload content hash, and
+// the run-shaping options (cycle budget, warmup). Two requests with
+// equal keys would record byte-identical streams, so they can share one.
+func RecordingKey(cfg config.GPUConfig, spec workloads.Spec, opts Options) string {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		// GPUConfig is scalars and strings; this cannot fail.
+		panic(fmt.Sprintf("sim: canonicalizing config: %v", err))
+	}
+	h := sha256.New()
+	h.Write(cfgJSON)
+	fmt.Fprintf(h, "|%s|%d|%d", spec.Hash(), opts.MaxCycles, opts.WarmupInstructions)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// RecordingCache deduplicates recording runs across concurrent callers.
+// The first caller for a key records (a full simulation); everyone else
+// blocks on that in-flight run and then shares the finished, read-only
+// Recording. Failed or cancelled runs are not cached — the next caller
+// simply records again. The cache is bounded: beyond max entries the
+// oldest recording is evicted (recordings of generated workloads are
+// cheap to reproduce, so FIFO is fine here).
+type RecordingCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*recEntry
+	order   []string
+	hits    uint64
+	misses  uint64
+}
+
+type recEntry struct {
+	ready chan struct{}
+	res   Result
+	rec   *trace.Recording
+	err   error
+}
+
+// NewRecordingCache returns a cache holding at most max recordings;
+// max <= 0 means a sensible small default.
+func NewRecordingCache(max int) *RecordingCache {
+	if max <= 0 {
+		max = 16
+	}
+	return &RecordingCache{max: max, entries: make(map[string]*recEntry)}
+}
+
+// Get returns the recording run's Result and Recording for the given
+// workload/config/options, recording it on first use. shared reports
+// whether the recording came from the cache (or an in-flight run)
+// rather than a fresh simulation. The returned Recording is shared and
+// must be treated as read-only.
+func (c *RecordingCache) Get(ctx context.Context, cfg config.GPUConfig, spec workloads.Spec, opts Options) (res Result, rec *trace.Recording, shared bool, err error) {
+	key := RecordingKey(cfg, spec, opts)
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return Result{}, nil, false, ctx.Err()
+			}
+			if e.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return e.res, e.rec, true, nil
+			}
+			// The in-flight run failed and removed itself; record anew.
+			continue
+		}
+		e := &recEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		c.misses++
+		c.evictLocked()
+		c.mu.Unlock()
+
+		e.res, e.rec, e.err = RecordContext(ctx, cfg, spec, opts)
+		if e.err != nil {
+			c.mu.Lock()
+			c.removeLocked(key)
+			c.mu.Unlock()
+		}
+		close(e.ready)
+		return e.res, e.rec, false, e.err
+	}
+}
+
+// evictLocked drops the oldest entries beyond the bound. In-flight
+// entries may be evicted from the map (new callers will re-record), but
+// their waiters still complete normally through the shared recEntry.
+func (c *RecordingCache) evictLocked() {
+	for len(c.order) > c.max {
+		oldest := c.order[0]
+		c.removeLocked(oldest)
+	}
+}
+
+func (c *RecordingCache) removeLocked(key string) {
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len reports how many recordings are currently cached.
+func (c *RecordingCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports how many Gets were served from a shared recording
+// (hits) versus required a fresh recording run (misses).
+func (c *RecordingCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

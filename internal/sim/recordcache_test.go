@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"sttllc/internal/config"
+)
+
+func TestRecordingKeyCoversContent(t *testing.T) {
+	spec := sweepSpec()
+	base := RecordingKey(config.C1(), spec, Options{})
+	if len(base) != 32 {
+		t.Errorf("key length = %d, want 32 hex chars", len(base))
+	}
+	for name, other := range map[string]string{
+		"config": RecordingKey(config.C2(), spec, Options{}),
+		"spec":   RecordingKey(config.C1(), spec.Scale(0.5), Options{}),
+		"cycles": RecordingKey(config.C1(), spec, Options{MaxCycles: 1000}),
+		"warmup": RecordingKey(config.C1(), spec, Options{WarmupInstructions: 1000}),
+	} {
+		if other == base {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+	if again := RecordingKey(config.C1(), spec, Options{}); again != base {
+		t.Errorf("key not deterministic: %s vs %s", again, base)
+	}
+}
+
+func TestRecordingCacheSharesAcrossCallers(t *testing.T) {
+	c := NewRecordingCache(4)
+	spec := sweepSpec()
+	const callers = 8
+	var wg sync.WaitGroup
+	dumps := make([]string, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, rec, _, err := c.Get(context.Background(), config.C1(), spec, Options{})
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			dumps[g] = bankSide(t, ReplayMany(rec, []config.GPUConfig{config.C1()})[0].Dump())
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < callers; g++ {
+		if dumps[g] != dumps[0] {
+			t.Errorf("caller %d got a different recording", g)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits+misses != callers {
+		t.Errorf("hits %d + misses %d != %d callers", hits, misses, callers)
+	}
+	if misses == 0 || misses == callers {
+		t.Errorf("expected some sharing: %d misses of %d", misses, callers)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestRecordingCacheKeysByContent(t *testing.T) {
+	c := NewRecordingCache(4)
+	ctx := context.Background()
+	spec := sweepSpec()
+	if _, _, shared, err := c.Get(ctx, config.C1(), spec, Options{}); err != nil || shared {
+		t.Fatalf("first get: shared=%v err=%v", shared, err)
+	}
+	if _, _, shared, err := c.Get(ctx, config.C1(), spec, Options{}); err != nil || !shared {
+		t.Errorf("repeat get not shared (err=%v)", err)
+	}
+	if _, _, shared, err := c.Get(ctx, config.C2(), spec, Options{}); err != nil || shared {
+		t.Errorf("different config shared a recording (err=%v)", err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+func TestRecordingCacheBounded(t *testing.T) {
+	c := NewRecordingCache(1)
+	ctx := context.Background()
+	spec := sweepSpec()
+	if _, _, _, err := c.Get(ctx, config.C1(), spec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Get(ctx, config.C2(), spec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want bound of 1", c.Len())
+	}
+	// The evicted key re-records rather than failing.
+	if _, rec, _, err := c.Get(ctx, config.C1(), spec, Options{}); err != nil || rec == nil {
+		t.Errorf("re-get after eviction: rec=%v err=%v", rec, err)
+	}
+}
+
+func TestRecordingCacheDoesNotCacheFailures(t *testing.T) {
+	c := NewRecordingCache(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := c.Get(ctx, config.C1(), sweepSpec(), Options{}); err == nil {
+		t.Fatal("cancelled get returned nil error")
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed recording cached: %d entries", c.Len())
+	}
+	// A healthy caller after the failure records successfully.
+	if _, rec, shared, err := c.Get(context.Background(), config.C1(), sweepSpec(), Options{}); err != nil || shared || rec == nil {
+		t.Errorf("retry after failure: shared=%v err=%v", shared, err)
+	}
+}

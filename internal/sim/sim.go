@@ -34,6 +34,11 @@ type Options struct {
 	// TraceWriter, when non-nil, records every L2-bound access for
 	// later offline replay (see Replay).
 	TraceWriter *trace.Writer
+	// TraceSink, when non-nil, receives every L2-bound access as it is
+	// issued — the in-memory counterpart of TraceWriter. Record uses it
+	// to capture a trace.Recording without a round trip through the
+	// wire format.
+	TraceSink func(trace.Record)
 	// WarmupInstructions, when positive, runs that many instructions
 	// first and then resets every statistic (keeping cache contents and
 	// timing state), so the reported numbers exclude cold-start
@@ -56,6 +61,9 @@ type Options struct {
 	// When nil, the package-level default installed by the test harness
 	// applies (nil outside tests — production runs pay nothing).
 	InvariantCheck func(bank int, b core.Bank, now int64) error
+	// skipSMs builds the memory system only (newReplaySimulator sets
+	// it): replays drive Access directly, so SMs would sit idle.
+	skipSMs bool
 }
 
 // defaultInvariantCheck is the fallback used when Options.InvariantCheck
@@ -93,6 +101,13 @@ type Simulator struct {
 	// kernels after the first cancelled drive.
 	ctx       context.Context
 	cancelled bool
+
+	// Recording hooks (see record.go): onWarmupReset observes the
+	// warmup stats reset, onKernelLaunch each kernel launch of an
+	// application run. Observation only — neither may mutate simulator
+	// state; both are nil outside Record/RecordApp.
+	onWarmupReset  func(now int64)
+	onKernelLaunch func(name string, now int64)
 
 	// Observability (see observe.go). reg is never nil after New; mReq
 	// and mLat are live handles even when it is disabled.
@@ -150,7 +165,18 @@ func New(cfg config.GPUConfig, spec workloads.Spec, opts Options) *Simulator {
 			}
 		}
 	}
-	s.buildSMs(spec)
+	if !opts.skipSMs {
+		s.buildSMs(spec)
+	} else {
+		// Replay simulators never execute an SM: the stream is driven
+		// straight into Access. Constructing 15 SMs (with their L1,
+		// constant, and texture caches) only to leave them idle is the
+		// dominant cost of building a replayer, so skip them. Every
+		// observable is unchanged: idle SMs contribute the same zero
+		// statistics an empty SM set does, and ResidentWarps is computed
+		// here exactly as buildSMs would.
+		s.resident = gpu.ResidentWarps(s.cfg.SM, spec.RegsPerThread, spec.ThreadsPerBlock)
+	}
 	s.registerMetrics()
 	return s
 }
@@ -179,6 +205,11 @@ func (s *Simulator) Access(now int64, smID int, addr uint64, write bool) int64 {
 		// Recording failures (e.g. a full disk) must not corrupt the
 		// simulation; they surface when the writer is flushed.
 		_ = s.opts.TraceWriter.Append(trace.Record{
+			Cycle: now, Addr: addr, SM: uint8(smID), Write: write,
+		})
+	}
+	if s.opts.TraceSink != nil {
+		s.opts.TraceSink(trace.Record{
 			Cycle: now, Addr: addr, SM: uint8(smID), Write: write,
 		})
 	}
@@ -286,6 +317,19 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			s.tracer.Instant(kernelTID, "warmup-reset", start, nil)
 		}
 	}
+	r := s.finalizeWindow(start, end)
+	if s.cancelled {
+		return r, ctx.Err()
+	}
+	return r, nil
+}
+
+// finalizeWindow finalizes the run and, for a warmed-up run (start > 0),
+// rescopes the rate metrics to the measured window: cycles, IPC, and the
+// power window all cover [start, end] only. Replays of warmed recordings
+// go through the same code path, which is what keeps their dumps
+// byte-identical to the recording run's.
+func (s *Simulator) finalizeWindow(start, end int64) Result {
 	r := s.finalize(end)
 	if start > 0 {
 		// Report rates over the measured window only.
@@ -298,10 +342,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		r.DynamicPowerW = r.Power.DynamicW()
 		r.TotalPowerW = r.Power.TotalW()
 	}
-	if s.cancelled {
-		return r, ctx.Err()
-	}
-	return r, nil
+	return r
 }
 
 // peekOr returns the engine's earliest event time, or MaxInt64 when it
@@ -475,6 +516,9 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			}
 			boundary = now
 			warming = false
+			if s.onWarmupReset != nil {
+				s.onWarmupReset(now)
+			}
 		}
 		if !warming && s.opts.MaxCycles > 0 && now >= s.opts.MaxCycles {
 			break
@@ -591,6 +635,9 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			a.lastSeq = seq - 1
 		}
 		boundary = now
+		if s.onWarmupReset != nil {
+			s.onWarmupReset(now)
+		}
 	}
 	for _, a := range actors {
 		if a.selfAccounted {
@@ -791,10 +838,7 @@ func RunOneContext(ctx context.Context, cfg config.GPUConfig, spec workloads.Spe
 // Result carries bank statistics and power; IPC fields are zero (no SMs
 // run during replay).
 func Replay(cfg config.GPUConfig, records []trace.Record) Result {
-	s := New(cfg, workloads.Spec{
-		Name: "replay", FootprintBytes: uint64(cfg.LineBytes), WWSBytes: uint64(cfg.LineBytes),
-		RegsPerThread: 1, ThreadsPerBlock: 32, WarpsPerSM: 1, InstrPerWarp: 1, Grids: 1,
-	}, Options{})
+	s := newReplaySimulator(cfg, "replay")
 	var last int64
 	for _, rec := range records {
 		s.Access(rec.Cycle, int(rec.SM), rec.Addr, rec.Write)
@@ -803,6 +847,16 @@ func Replay(cfg config.GPUConfig, records []trace.Record) Result {
 	r := s.finalize(last)
 	r.Benchmark = "replay"
 	return r
+}
+
+// newReplaySimulator builds a Simulator whose memory system is live but
+// whose SM side is a stub: replays drive Access directly from a record
+// stream, so the workload spec only has to be valid, not meaningful.
+func newReplaySimulator(cfg config.GPUConfig, name string) *Simulator {
+	return New(cfg, workloads.Spec{
+		Name: name, FootprintBytes: uint64(cfg.LineBytes), WWSBytes: uint64(cfg.LineBytes),
+		RegsPerThread: 1, ThreadsPerBlock: 32, WarpsPerSM: 1, InstrPerWarp: 1, Grids: 1,
+	}, Options{skipSMs: true})
 }
 
 // KernelResult summarizes one kernel launch within an application.
@@ -855,16 +909,29 @@ func RunApp(cfg config.GPUConfig, app workloads.App, opts Options) AppResult {
 // (the interrupted kernel's row included, partially filled); the error
 // is ctx's error, or nil if every kernel completed.
 func RunAppContext(ctx context.Context, cfg config.GPUConfig, app workloads.App, opts Options) (AppResult, error) {
+	return runAppContext(ctx, cfg, app, opts, nil)
+}
+
+// runAppContext is the shared application driver; setup, when non-nil,
+// configures the freshly built Simulator before the first kernel
+// launches (RecordApp hangs its recording hooks there).
+func runAppContext(ctx context.Context, cfg config.GPUConfig, app workloads.App, opts Options, setup func(*Simulator)) (AppResult, error) {
 	if len(app.Kernels) == 0 {
 		panic("sim: application has no kernels")
 	}
 	s := New(cfg, app.Kernels[0], opts)
 	s.ctx = ctx
+	if setup != nil {
+		setup(s)
+	}
 	ar := AppResult{App: app.Name, Config: cfg.Name}
 	now := int64(0)
 	for ki, spec := range app.Kernels {
 		if ki > 0 {
 			s.buildSMs(spec)
+		}
+		if s.onKernelLaunch != nil {
+			s.onKernelLaunch(spec.Name, now)
 		}
 		accBefore, hitBefore := s.bankTotals()
 		_, end := s.drive(now, 0)

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Record is one L2-bound memory access.
@@ -26,14 +27,38 @@ type Record struct {
 	Write bool
 }
 
-// Format constants.
+// Format constants. Version 1 is a bare record stream; version 2 (see
+// recording.go) prefixes the same stream with a metadata block carrying
+// the workload identity, warmup boundary, and kernel-phase markers.
 var magic = [4]byte{'S', 'T', 'T', 'T'}
 
-const version = 1
+const (
+	version          = 1
+	versionRecording = 2
+)
+
+// flagWrite is the only defined record flag bit; the rest of the flags
+// byte is reserved and must be zero.
+const flagWrite = 1
 
 // ErrBadHeader reports a stream that is not a trace or has an
 // unsupported version.
 var ErrBadHeader = errors.New("trace: bad header")
+
+// RecordError reports a corrupt or truncated record and where it sits
+// in the stream, so a bad on-disk trace fails at decode time with an
+// index instead of surfacing as a bogus replay divergence downstream.
+type RecordError struct {
+	// Index is the 0-based position of the record that failed to decode.
+	Index uint64
+	Err   error
+}
+
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("trace: record %d: %v", e.Index, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
 
 // Writer encodes records onto an io.Writer. Close (or Flush) must be
 // called to drain the internal buffer.
@@ -79,7 +104,7 @@ func (w *Writer) Append(r Record) error {
 	n++
 	flags := byte(0)
 	if r.Write {
-		flags |= 1
+		flags |= flagWrite
 	}
 	buf[n] = flags
 	n++
@@ -102,11 +127,14 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader decodes a trace stream.
+// Reader decodes a trace stream, either format version. Metadata from a
+// version-2 recording stream is available through Meta.
 type Reader struct {
 	r         *bufio.Reader
 	lastCycle int64
+	index     uint64
 	headerOK  bool
+	meta      *Recording // non-nil after the header of a v2 stream
 }
 
 // NewReader reads a trace stream from r.
@@ -125,15 +153,39 @@ func (r *Reader) readHeader() error {
 		}
 		return err
 	}
-	if [4]byte(h[:4]) != magic || h[4] != version {
+	if [4]byte(h[:4]) != magic {
+		return ErrBadHeader
+	}
+	switch h[4] {
+	case version:
+	case versionRecording:
+		meta, err := readMeta(r.r)
+		if err != nil {
+			return err
+		}
+		r.meta = meta
+	default:
 		return ErrBadHeader
 	}
 	r.headerOK = true
 	return nil
 }
 
-// Next decodes the next record. It returns io.EOF at a clean end of
-// stream.
+// Meta returns the metadata block of a version-2 recording stream
+// (Records nil — the stream itself follows via Next), or nil for a
+// bare version-1 trace. It consumes the header if Next has not.
+func (r *Reader) Meta() (*Recording, error) {
+	if err := r.readHeader(); err != nil {
+		return nil, err
+	}
+	return r.meta, nil
+}
+
+// Next decodes the next record, validating it as it goes — the same
+// ordering/bounds discipline Validate applies to in-memory streams,
+// applied incrementally. A corrupt or truncated stream fails at the
+// offending record with a *RecordError carrying its index; it returns
+// io.EOF at a clean end of stream.
 func (r *Reader) Next() (Record, error) {
 	if err := r.readHeader(); err != nil {
 		return Record{}, err
@@ -143,27 +195,43 @@ func (r *Reader) Next() (Record, error) {
 		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
 		}
-		return Record{}, err
+		return Record{}, r.corrupt(err)
 	}
 	addr, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		return Record{}, unexpected(err)
+		return Record{}, r.corrupt(unexpected(err))
 	}
 	sm, err := r.r.ReadByte()
 	if err != nil {
-		return Record{}, unexpected(err)
+		return Record{}, r.corrupt(unexpected(err))
 	}
 	flags, err := r.r.ReadByte()
 	if err != nil {
-		return Record{}, unexpected(err)
+		return Record{}, r.corrupt(unexpected(err))
+	}
+	// The delta encoding cannot produce a decreasing cycle, but it can
+	// overflow int64; and set reserved flag bits mean the stream is not
+	// ours (or the reader lost record framing).
+	if delta > math.MaxInt64 || r.lastCycle > math.MaxInt64-int64(delta) {
+		return Record{}, r.corrupt(fmt.Errorf("cycle delta %d after cycle %d overflows int64", delta, r.lastCycle))
+	}
+	if extra := flags &^ flagWrite; extra != 0 {
+		return Record{}, r.corrupt(fmt.Errorf("unknown flag bits %#02x", extra))
 	}
 	r.lastCycle += int64(delta)
+	r.index++
 	return Record{
 		Cycle: r.lastCycle,
 		Addr:  addr,
 		SM:    sm,
-		Write: flags&1 != 0,
+		Write: flags&flagWrite != 0,
 	}, nil
+}
+
+// corrupt wraps a decode failure with the index of the record being
+// decoded.
+func (r *Reader) corrupt(err error) error {
+	return &RecordError{Index: r.index, Err: err}
 }
 
 // Validate checks that records form a replayable stream: cycles are

@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash returns the spec's content address: the hex SHA-256 (truncated
+// to 128 bits) of its canonical JSON encoding. Every field that shapes
+// the generated instruction streams participates — scaling, warp
+// overrides, and seed changes all change the hash — so two specs hash
+// equal exactly when they would generate identical streams. Recording
+// caches key on this, which is what lets a reference-stream recording
+// be shared across jobs that name the same workload content.
+func (s Spec) Hash() string {
+	return contentHash(s)
+}
+
+// Hash is the application counterpart of Spec.Hash: the content address
+// of the whole kernel sequence.
+func (a App) Hash() string {
+	return contentHash(a)
+}
+
+func contentHash(v any) string {
+	// Struct fields marshal in declaration order, so the encoding — and
+	// therefore the hash — is deterministic.
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Structs of scalars and strings cannot fail to marshal.
+		panic(fmt.Sprintf("workloads: canonicalizing spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}

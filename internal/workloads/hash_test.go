@@ -1,0 +1,54 @@
+package workloads
+
+import "testing"
+
+func TestSpecHashDeterministic(t *testing.T) {
+	a, _ := ByName("bfs")
+	b, _ := ByName("bfs")
+	if a.Hash() != b.Hash() {
+		t.Error("identical specs hash differently")
+	}
+	if len(a.Hash()) != 32 {
+		t.Errorf("hash length = %d, want 32 hex chars", len(a.Hash()))
+	}
+}
+
+func TestSpecHashCoversStreamShapingFields(t *testing.T) {
+	base, _ := ByName("bfs")
+	seen := map[string]string{base.Hash(): "base"}
+	for name, mutate := range map[string]func(*Spec){
+		"scale":   func(s *Spec) { *s = s.Scale(0.5) },
+		"warps":   func(s *Spec) { s.WarpsPerSM = 7 },
+		"seed":    func(s *Spec) { s.Seed ^= 1 },
+		"wws":     func(s *Spec) { s.WWSBytes *= 2 },
+		"writes":  func(s *Spec) { s.WriteFrac += 0.01 },
+		"rename":  func(s *Spec) { s.Name = "bfs2" },
+		"stream":  func(s *Spec) { s.StreamFrac += 0.01 },
+		"grids":   func(s *Spec) { s.Grids++ },
+		"threads": func(s *Spec) { s.ThreadsPerBlock *= 2 },
+	} {
+		s := base
+		mutate(&s)
+		h := s.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func TestSuiteHashesDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, s := range All() {
+		if prev, dup := seen[s.Hash()]; dup {
+			t.Errorf("%s and %s share a hash", s.Name, prev)
+		}
+		seen[s.Hash()] = s.Name
+	}
+	for _, a := range Apps() {
+		if prev, dup := seen[a.Hash()]; dup {
+			t.Errorf("app %s collides with %s", a.Name, prev)
+		}
+		seen[a.Hash()] = a.Name
+	}
+}
