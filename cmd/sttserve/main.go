@@ -14,6 +14,17 @@
 //	curl -s localhost:8080/v1/simulations/<id>?wait=true
 //	curl -s localhost:8080/metrics
 //
+// Batched sweeps, persistence, and scale-out:
+//
+//	sttserve -addr :8080 -store /var/lib/sttserve          # results survive restarts
+//	curl -s -XPOST localhost:8080/v1/sweeps \
+//	    -d '{"configs":["C1","C2","C3"],"benches":["bfs","stencil"],"replay":true}'
+//	curl -sN localhost:8080/v1/sweeps/<id>/events          # NDJSON progress
+//
+//	# two-node fabric: each node names itself and its peers
+//	sttserve -addr :8080 -self http://10.0.0.1:8080 -peers http://10.0.0.2:8080 &
+//	sttserve -addr :8080 -self http://10.0.0.2:8080 -peers http://10.0.0.1:8080 &
+//
 // SIGINT/SIGTERM begin a graceful drain: intake stops, in-flight jobs
 // finish (up to -drain), then the process exits 0. Jobs still running
 // past the drain deadline are cancelled at their next periodic
@@ -28,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,15 +48,30 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 0, "queued-job bound before 429s (0 = 16)")
-		cache      = flag.Int("cache", 0, "result-cache entries (0 = 256)")
-		defTimeout = flag.Duration("default-timeout", 0, "per-job wall-time bound when the request names none (0 = 5m, -1ns = unlimited)")
-		maxTimeout = flag.Duration("max-timeout", 0, "cap on request-supplied timeouts (0 = 30m)")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "queued-job bound before 429s (0 = 16)")
+		cache       = flag.Int("cache", 0, "result-cache entries (0 = 256)")
+		store       = flag.String("store", "", "disk-backed result store directory (empty = memory only)")
+		storeBudget = flag.Int64("store-budget", 0, "result-store size budget in bytes (0 = 256MB)")
+		self        = flag.String("self", "", "this node's advertised base URL (required with -peers)")
+		peers       = flag.String("peers", "", "comma-separated peer base URLs for the multi-node fabric")
+		defTimeout  = flag.Duration("default-timeout", 0, "per-job wall-time bound when the request names none (0 = 5m, -1ns = unlimited)")
+		maxTimeout  = flag.Duration("max-timeout", 0, "cap on request-supplied timeouts (0 = 30m)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 && *self == "" {
+		fmt.Fprintln(os.Stderr, "sttserve: -peers requires -self")
+		os.Exit(2)
+	}
 
 	svc := server.New(server.Config{
 		Workers:        *workers,
@@ -52,6 +79,10 @@ func main() {
 		CacheEntries:   *cache,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
+		StoreDir:       *store,
+		StoreBudget:    *storeBudget,
+		Self:           *self,
+		Peers:          peerList,
 	})
 	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -65,6 +65,13 @@ type SimulationRequest struct {
 	// default jobs keep their execution-driven, CLI-identical semantics
 	// and their historical cache keys.
 	Replay bool `json:"replay,omitempty"`
+
+	// noForward pins execution to this node even when the consistent-
+	// hash ring places the job on a peer. Set for requests that arrive
+	// with the forwarded marker (loop prevention). Unexported and
+	// unserialized: it is routing state, not simulation identity, so it
+	// can never perturb the content address.
+	noForward bool
 }
 
 // normalize maps every equivalent request onto one canonical form: the

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = SimulationRequest{Config: "C2", Bench: "bfs", Warps: i + 1}.Key()
+	}
+	return ids
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	members := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r1 := newRing(members[0], members[1:])
+	r2 := newRing(members[0], members[1:])
+	valid := map[string]bool{members[0]: true, members[1]: true, members[2]: true}
+	for _, id := range ringIDs(200) {
+		o := r1.owner(id)
+		if !valid[o] {
+			t.Fatalf("owner(%s) = %q, not a member", id, o)
+		}
+		if o2 := r2.owner(id); o2 != o {
+			t.Fatalf("two rings over the same members disagree: %q vs %q", o, o2)
+		}
+	}
+}
+
+func TestRingEveryNodeComputesSamePlacement(t *testing.T) {
+	// The whole point of consistent hashing here: any node can compute any
+	// job's owner. Build the ring from each member's perspective and check
+	// they all agree.
+	members := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	rings := make([]*ring, len(members))
+	for i, self := range members {
+		var peers []string
+		for k, m := range members {
+			if k != i {
+				peers = append(peers, m)
+			}
+		}
+		rings[i] = newRing(self, peers)
+	}
+	for _, id := range ringIDs(100) {
+		want := rings[0].owner(id)
+		for i := 1; i < len(rings); i++ {
+			if got := rings[i].owner(id); got != want {
+				t.Fatalf("node %d places %s on %q, node 0 on %q", i, id, got, want)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1", "n2", "n3"}
+	r := newRing(members[0], members[1:])
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("%032x", i))]++
+	}
+	for _, m := range members {
+		if share := float64(counts[m]) / n; share < 0.15 {
+			t.Errorf("member %s owns %.1f%% of keys; virtual nodes should keep shares near 33%%", m, 100*share)
+		}
+	}
+}
+
+func TestRingLosingNodeRemapsOnlyItsArcs(t *testing.T) {
+	full := newRing("n1", []string{"n2", "n3"})
+	shrunk := newRing("n1", []string{"n2"})
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("%032x", i)
+		was := full.owner(id)
+		if was == "n3" {
+			continue // n3's arcs must remap somewhere, by definition
+		}
+		if now := shrunk.owner(id); now != was {
+			t.Fatalf("id %s moved %q → %q although its owner survived", id, was, now)
+		}
+	}
+}
+
+func TestRingSelfInPeersCollapses(t *testing.T) {
+	r := newRing("n1", []string{"n1", "n2"})
+	if got := len(r.points) / ringPoints; got != 2 {
+		t.Fatalf("ring has %d members, want 2 (self listed as a peer must not double-weight)", got)
+	}
+}

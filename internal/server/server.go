@@ -49,6 +49,21 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps request-supplied timeouts (0 = 30m).
 	MaxTimeout time.Duration
+	// StoreDir roots the disk-backed result store ("" = memory only).
+	// With a store, completed dumps persist across restarts and repeat
+	// queries are answered from disk instead of re-simulated.
+	StoreDir string
+	// StoreBudget bounds the store's payload bytes (0 = 256MB); least
+	// recently used results are evicted beyond it.
+	StoreBudget int64
+	// Self and Peers enable the multi-node mode: Self is this node's
+	// advertised base URL (e.g. "http://10.0.0.1:8080"), Peers the other
+	// nodes'. Job ownership is consistent-hashed over Self ∪ Peers; a
+	// job owned elsewhere is forwarded to its owner, with retry and
+	// failover to local execution when the owner is unreachable. Peers
+	// without Self is a configuration error.
+	Self  string
+	Peers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +101,13 @@ type Server struct {
 	recordings *sim.RecordingCache
 	replayJobs atomic.Uint64
 
+	// store persists completed dumps across restarts (nil = memory
+	// only); ring and httpc drive the multi-node forwarding path (ring
+	// nil = single node).
+	store *diskStore
+	ring  *ring
+	httpc *http.Client
+
 	// Scrape-safe counters: workers add with atomics, the registry
 	// reads through Load closures, so /metrics never races a job.
 	submitted    atomic.Uint64
@@ -101,14 +123,30 @@ type Server struct {
 	running      atomic.Int64
 	drainingFlag atomic.Bool
 
-	mu       sync.Mutex
-	inflight map[string]*job // queued or running, by id
-	finished *jobLRU         // terminal, by id; doubles as result cache
-	queue    chan *job
-	wg       sync.WaitGroup
+	sweepsSubmitted atomic.Uint64
+	sweepsCompleted atomic.Uint64
+	sweepsFailed    atomic.Uint64
+	sweepsCancelled atomic.Uint64
+	sweepJoins      atomic.Uint64
+	sweepChildrenN  atomic.Uint64
+	forwarded       atomic.Uint64
+	forwardFailover atomic.Uint64
+
+	mu             sync.Mutex
+	inflight       map[string]*job // queued or running, by id
+	finished       *jobLRU         // terminal, by id; doubles as result cache
+	queue          chan *job
+	wg             sync.WaitGroup
+	sweeps         map[string]*sweep          // live and recent sweeps, by id
+	finishedSweeps []string                   // terminal sweeps, oldest first
+	watch          map[string]map[*sweep]bool // job id → sweeps tracking it
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. Configuration that
+// cannot possibly serve — an unopenable store directory, peers without
+// a self address — panics, like every other constructor in this
+// codebase: a daemon that cannot persist or route must not boot
+// half-working.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -118,6 +156,22 @@ func New(cfg Config) *Server {
 		finished:   newJobLRU(cfg.CacheEntries),
 		queue:      make(chan *job, cfg.QueueDepth),
 		recordings: sim.NewRecordingCache(cfg.CacheEntries),
+		sweeps:     make(map[string]*sweep),
+		watch:      make(map[string]map[*sweep]bool),
+		httpc:      &http.Client{},
+	}
+	if cfg.StoreDir != "" {
+		st, err := openStore(cfg.StoreDir, cfg.StoreBudget)
+		if err != nil {
+			panic("server: " + err.Error())
+		}
+		s.store = st
+	}
+	if len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			panic("server: Peers configured without Self")
+		}
+		s.ring = newRing(cfg.Self, cfg.Peers)
 	}
 	s.runFn = s.runSimulation
 	s.registerMetrics()
@@ -172,6 +226,61 @@ func (s *Server) registerMetrics() {
 		_, misses := s.recordings.Stats()
 		return misses
 	})
+	// Sweep fabric: batched grids, their children, and live joins.
+	r.RegisterFunc("server.sweeps_submitted_total", s.sweepsSubmitted.Load)
+	r.RegisterFunc("server.sweeps_completed_total", s.sweepsCompleted.Load)
+	r.RegisterFunc("server.sweeps_failed_total", s.sweepsFailed.Load)
+	r.RegisterFunc("server.sweeps_cancelled_total", s.sweepsCancelled.Load)
+	r.RegisterFunc("server.sweep_joins_total", s.sweepJoins.Load)
+	r.RegisterFunc("server.sweep_jobs_total", s.sweepChildrenN.Load)
+	r.RegisterFunc("server.sweeps_tracked", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(len(s.sweeps))
+	})
+	// Disk store: zero-valued when persistence is off, so dashboards
+	// and scrapers see a uniform surface either way.
+	r.RegisterFunc("server.store_hits_total", func() uint64 {
+		if s.store == nil {
+			return 0
+		}
+		return s.store.hits.Load()
+	})
+	r.RegisterFunc("server.store_misses_total", func() uint64 {
+		if s.store == nil {
+			return 0
+		}
+		return s.store.misses.Load()
+	})
+	r.RegisterFunc("server.store_writes_total", func() uint64 {
+		if s.store == nil {
+			return 0
+		}
+		return s.store.writes.Load()
+	})
+	r.RegisterFunc("server.store_evictions_total", func() uint64 {
+		if s.store == nil {
+			return 0
+		}
+		return s.store.evictions.Load()
+	})
+	r.RegisterFunc("server.store_quarantined_total", func() uint64 {
+		if s.store == nil {
+			return 0
+		}
+		return s.store.quarantined.Load()
+	})
+	r.RegisterFunc("server.store_entries", func() uint64 { return uint64(s.store.len()) })
+	r.RegisterFunc("server.store_bytes", func() uint64 { return uint64(s.store.bytes()) })
+	// Multi-node: jobs executed by their ring owner vs. rescued locally.
+	r.RegisterFunc("server.forwarded_jobs_total", s.forwarded.Load)
+	r.RegisterFunc("server.forward_failovers_total", s.forwardFailover.Load)
+	r.RegisterFunc("server.ring_nodes", func() uint64 {
+		if s.ring == nil {
+			return 1
+		}
+		return uint64(len(s.ring.points) / ringPoints)
+	})
 }
 
 func (s *Server) routes() {
@@ -180,6 +289,11 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/simulations", s.handleList)
 	mux.HandleFunc("GET /v1/simulations/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/simulations/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -252,6 +366,80 @@ func wantWait(r *http.Request) bool {
 	return false
 }
 
+// admission is admitLocked's verdict on one canonical request.
+type admission int
+
+const (
+	admitQueued     admission = iota // fresh job enqueued
+	admitJoined                      // identical job already in flight
+	admitCachedMem                   // answered from the in-memory LRU
+	admitCachedDisk                  // answered from the disk store
+	admitDraining                    // intake closed
+	admitQueueFull                   // no queue slot
+)
+
+// admitLocked resolves one canonical request to a job: join the
+// identical in-flight run, answer from the memory LRU or the disk
+// store, or enqueue a fresh job. hold pins an admitted or joined job
+// against client-disconnect cancellation (async submissions and sweep
+// children). The caller holds s.mu; the returned job is nil only for
+// admitDraining/admitQueueFull. This is the single admission path —
+// POST /v1/simulations and sweep expansion cannot disagree about
+// dedup, caching, or admission control.
+func (s *Server) admitLocked(req SimulationRequest, id string, hold bool) (*job, admission) {
+	if j := s.inflight[id]; j != nil {
+		// Singleflight: an identical request is already queued or
+		// running — join it instead of simulating twice.
+		s.dedupJoins.Add(1)
+		if hold {
+			j.asyncHold = true
+		}
+		return j, admitJoined
+	}
+	if j := s.finished.get(id); j != nil && j.state == jobDone {
+		// Content-addressed cache hit: same canonical request, answer
+		// from the stored dump without running anything.
+		s.cacheHits.Add(1)
+		return j, admitCachedMem
+	}
+	if dump := s.store.get(id); dump != nil {
+		// Disk-store hit: a completed dump from before the last restart
+		// (or evicted from the LRU since). Synthesize a terminal job so
+		// the LRU re-adopts it and pollers can fetch it by ID.
+		now := time.Now()
+		j := &job{
+			id: id, req: req, state: jobDone, dump: dump,
+			done: make(chan struct{}), submitted: now, started: now, finished: now,
+		}
+		close(j.done)
+		s.finished.put(j)
+		return j, admitCachedDisk
+	}
+	if s.drainingFlag.Load() {
+		return nil, admitDraining
+	}
+	j := &job{
+		id:        id,
+		req:       req,
+		state:     jobQueued,
+		done:      make(chan struct{}),
+		asyncHold: hold,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+		s.inflight[id] = j
+		s.submitted.Add(1)
+		s.cacheMisses.Add(1)
+		return j, admitQueued
+	default:
+		// Admission control: the queue is full. Reject now rather than
+		// letting latency grow without bound.
+		s.rejected.Add(1)
+		return nil, admitQueueFull
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SimulationRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
@@ -266,16 +454,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req = req.normalize()
+	if r.Header.Get(forwardedHeader) != "" {
+		// A peer already routed this job here; execute locally no matter
+		// what the ring says, so forwarding can never loop.
+		req.noForward = true
+	}
 	wait := wantWait(r)
 	id := req.Key()
 
 	s.mu.Lock()
-	if j := s.inflight[id]; j != nil {
-		// Singleflight: an identical request is already queued or
-		// running — join it instead of simulating twice.
-		s.dedupJoins.Add(1)
+	j, adm := s.admitLocked(req, id, !wait)
+	switch adm {
+	case admitDraining:
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case admitQueueFull:
+		s.mu.Unlock()
+		// The hint scales with the backlog a retrying client is behind.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", 1+len(s.queue)/s.cfg.Workers))
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueDepth)
+		return
+	case admitCachedMem, admitCachedDisk:
+		st := statusLocked(j, true)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	case admitJoined:
 		if !wait {
-			j.asyncHold = true
 			st := statusLocked(j, false)
 			s.mu.Unlock()
 			writeJSON(w, http.StatusOK, st)
@@ -284,44 +491,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.waitLocked(w, r, j)
 		return
 	}
-	if j := s.finished.get(id); j != nil && j.state == jobDone {
-		// Content-addressed cache hit: same canonical request, answer
-		// from the stored dump without running anything.
-		s.cacheHits.Add(1)
-		st := statusLocked(j, true)
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, st)
-		return
-	}
-	if s.drainingFlag.Load() {
-		s.mu.Unlock()
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
-		return
-	}
-	j := &job{
-		id:        id,
-		req:       req,
-		state:     jobQueued,
-		done:      make(chan struct{}),
-		asyncHold: !wait,
-		submitted: time.Now(),
-	}
-	select {
-	case s.queue <- j:
-		s.inflight[id] = j
-		s.submitted.Add(1)
-		s.cacheMisses.Add(1)
-	default:
-		// Admission control: the queue is full. Reject now rather than
-		// letting latency grow without bound; the hint scales with the
-		// backlog a retrying client is behind.
-		s.rejected.Add(1)
-		s.mu.Unlock()
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", 1+len(s.queue)/s.cfg.Workers))
-		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueDepth)
-		return
-	}
+	// admitQueued
 	if !wait {
 		st := statusLocked(j, false)
 		s.mu.Unlock()
@@ -457,6 +627,7 @@ func (s *Server) cancelJob(id string) {
 		s.finished.put(j)
 		s.cancelledN.Add(1)
 		close(j.done)
+		s.sweepJobChangedLocked(j)
 	case jobRunning:
 		if j.cancel != nil {
 			j.cancel()
@@ -504,12 +675,35 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithCancel(context.Background())
 	}
 	j.cancel = cancel
+	s.sweepJobChangedLocked(j)
 	s.mu.Unlock()
 
 	s.running.Add(1)
-	dump, err := s.runGuarded(ctx, j.req)
+	var dump *sim.StatsDump
+	var err error
+	if s.ring != nil && !j.req.noForward && !s.ring.local(j.id) {
+		// The ring placed this job on a peer: its cache and store are
+		// the authority for this arc of the ID space. A dead or draining
+		// owner is not a failure — the job runs here instead.
+		dump, err = s.forward(ctx, s.ring.owner(j.id), j.req)
+		if err != nil {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+			} else {
+				s.forwardFailover.Add(1)
+				dump, err = s.runGuarded(ctx, j.req)
+			}
+		}
+	} else {
+		dump, err = s.runGuarded(ctx, j.req)
+	}
 	s.running.Add(-1)
 	cancel()
+	if err == nil {
+		// Persist before publishing: a crash after this point loses no
+		// completed work. Store IO happens outside s.mu.
+		s.store.put(j.id, dump)
+	}
 
 	s.mu.Lock()
 	delete(s.inflight, j.id)
@@ -541,6 +735,7 @@ func (s *Server) runJob(j *job) {
 	}
 	s.finished.put(j)
 	close(j.done)
+	s.sweepJobChangedLocked(j)
 	s.mu.Unlock()
 }
 

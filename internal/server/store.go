@@ -1,0 +1,347 @@
+// Disk-backed result store: the persistence layer behind the in-memory
+// job LRU. Completed dumps are written as content-addressed files —
+// the filename IS the job ID, which IS the sha256 content address of
+// the canonical request — so the store survives restarts, repeat
+// queries hit disk instead of re-simulating, and two nodes (or two
+// processes racing on one directory) writing the same ID are writing
+// the same bytes.
+//
+// Layout: <dir>/<id[:2]>/<id>.json, a 256-way fan-out so no directory
+// grows unboundedly. Each file is one header line
+//
+//	sttllc-store/v1 <hex sha256 of payload>
+//
+// followed by the compact-JSON StatsDump payload. Writes go to a temp
+// file in the destination directory and rename into place: readers
+// never observe a partial file, and concurrent writers of one ID are
+// idempotent (last rename wins; the content is identical). Files that
+// fail the checksum or don't parse — truncation, bit rot, a stray hand
+// edit — are quarantined into <dir>/quarantine/ rather than served or
+// deleted, and counted.
+//
+// Eviction is least-recently-used by total payload bytes against a
+// budget; recency survives restarts approximately via file mtimes
+// (reads re-touch). The store is an independent component with its own
+// mutex — it never takes the Server's — so disk IO cannot block the
+// scheduler more than the calling handler.
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sttllc/internal/sim"
+)
+
+// storeHeader is the magic prefix of every result file.
+const storeHeader = "sttllc-store/v1"
+
+// diskStore is the persistent result store. Nil *diskStore is valid
+// and inert: every lookup misses, every write is dropped, so callers
+// don't branch on "is persistence configured".
+type diskStore struct {
+	dir    string
+	budget int64 // payload-byte budget; eviction keeps total <= budget
+
+	mu      sync.Mutex
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // id → element, Value = *storeEntry
+	total   int64                    // sum of entry sizes
+
+	hits, misses, writes, evictions, quarantined atomic.Uint64
+}
+
+type storeEntry struct {
+	id   string
+	size int64
+}
+
+// defaultStoreBudget bounds the store when the caller doesn't: 256 MB
+// of dumps is tens of thousands of results.
+const defaultStoreBudget = 256 << 20
+
+// openStore opens (creating if needed) a disk store rooted at dir and
+// indexes the results already present, oldest first, verifying each
+// file's checksum; corrupt files are quarantined immediately so a
+// damaged store never serves bad dumps. budget <= 0 selects the
+// default.
+func openStore(dir string, budget int64) (*diskStore, error) {
+	if budget <= 0 {
+		budget = defaultStoreBudget
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("opening result store: %w", err)
+	}
+	s := &diskStore{
+		dir:     dir,
+		budget:  budget,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan indexes existing result files by mtime (oldest = least recently
+// used) and quarantines any that fail verification, then enforces the
+// budget in case it shrank between runs.
+func (s *diskStore) scan() error {
+	type found struct {
+		id    string
+		size  int64
+		mtime time.Time
+	}
+	var all []found
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if filepath.Base(path) == "quarantine" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		id, ok := idFromFilename(d.Name())
+		if !ok {
+			return nil // temp files, strays
+		}
+		if _, verr := s.readVerified(path); verr != nil {
+			s.quarantine(path)
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		all = append(all, found{id: id, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("scanning result store: %w", err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	for _, f := range all {
+		s.entries[f.id] = s.order.PushFront(&storeEntry{id: f.id, size: f.size})
+		s.total += f.size
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// idFromFilename recovers the job ID from "<id>.json", rejecting
+// anything that isn't 32 lowercase hex characters.
+func idFromFilename(name string) (string, bool) {
+	id, ok := strings.CutSuffix(name, ".json")
+	if !ok || len(id) != 32 {
+		return "", false
+	}
+	if _, err := hex.DecodeString(id); err != nil {
+		return "", false
+	}
+	return id, true
+}
+
+func (s *diskStore) path(id string) string {
+	return filepath.Join(s.dir, id[:2], id+".json")
+}
+
+// readVerified reads a result file and returns its payload after
+// checking the header checksum. Any structural problem — missing
+// header, wrong magic, checksum mismatch, truncation — is an error.
+func (s *diskStore) readVerified(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("store file %s: no header line", path)
+	}
+	magic, sum, ok := strings.Cut(string(b[:nl]), " ")
+	if !ok || magic != storeHeader {
+		return nil, fmt.Errorf("store file %s: bad header %q", path, b[:nl])
+	}
+	payload := b[nl+1:]
+	got := sha256.Sum256(payload)
+	if hex.EncodeToString(got[:]) != sum {
+		return nil, fmt.Errorf("store file %s: checksum mismatch", path)
+	}
+	return payload, nil
+}
+
+// quarantine moves a damaged file aside (never deletes: the bytes may
+// matter for diagnosis) and counts it. Best-effort — a failed move
+// leaves the file where it is, and it stays un-indexed either way.
+func (s *diskStore) quarantine(path string) {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		os.Rename(path, filepath.Join(qdir, filepath.Base(path)))
+	}
+	s.quarantined.Add(1)
+}
+
+// has reports (without IO) whether id is indexed. A true answer can
+// still miss at get time if the file was evicted or fails verification
+// in between; callers treat has as a capacity hint, not a promise.
+func (s *diskStore) has(id string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[id]
+	return ok
+}
+
+// get returns the stored dump for id, or nil on any kind of miss
+// (absent, evicted, corrupt — corrupt files are quarantined on the
+// way). A hit refreshes recency in memory and on disk (mtime), so LRU
+// order survives restarts.
+func (s *diskStore) get(id string) *sim.StatsDump {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	el, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil
+	}
+	s.order.MoveToFront(el)
+	s.mu.Unlock()
+
+	path := s.path(id)
+	payload, err := s.readVerified(path)
+	if err != nil {
+		s.quarantine(path)
+		s.dropEntry(id)
+		s.misses.Add(1)
+		return nil
+	}
+	var dump sim.StatsDump
+	if err := json.Unmarshal(payload, &dump); err != nil {
+		s.quarantine(path)
+		s.dropEntry(id)
+		s.misses.Add(1)
+		return nil
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort recency for the next scan
+	s.hits.Add(1)
+	return &dump
+}
+
+func (s *diskStore) dropEntry(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		s.total -= el.Value.(*storeEntry).size
+		s.order.Remove(el)
+		delete(s.entries, id)
+	}
+}
+
+// put persists a completed dump under id. Errors are swallowed after
+// counting — persistence is an optimization; a full or read-only disk
+// must not fail the job that just completed.
+func (s *diskStore) put(id string, dump *sim.StatsDump) {
+	if s == nil {
+		return
+	}
+	payload, err := json.Marshal(dump)
+	if err != nil {
+		return // a dump of scalars cannot fail to marshal
+	}
+	sum := sha256.Sum256(payload)
+	dst := s.path(id)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return
+	}
+	// Temp file in the destination directory so the rename is a same-
+	// filesystem atomic replace.
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-"+id+"-*")
+	if err != nil {
+		return
+	}
+	_, werr := fmt.Fprintf(tmp, "%s %s\n", storeHeader, hex.EncodeToString(sum[:]))
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	size := int64(len(payload)) + int64(len(storeHeader)+1+2*sha256.Size+1)
+
+	s.mu.Lock()
+	if el, ok := s.entries[id]; ok {
+		// Idempotent re-put (concurrent writers, or a re-run after a
+		// non-cached failure record): same content, refreshed recency.
+		s.total += size - el.Value.(*storeEntry).size
+		el.Value.(*storeEntry).size = size
+		s.order.MoveToFront(el)
+	} else {
+		s.entries[id] = s.order.PushFront(&storeEntry{id: id, size: size})
+		s.total += size
+	}
+	s.writes.Add(1)
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// evictLocked removes least-recently-used files until total <= budget.
+// Called with s.mu held; the unlink happens under the lock, which is
+// fine — evictions are rare and the files are small.
+func (s *diskStore) evictLocked() {
+	for s.total > s.budget && s.order.Len() > 1 {
+		el := s.order.Back()
+		e := el.Value.(*storeEntry)
+		s.order.Remove(el)
+		delete(s.entries, e.id)
+		s.total -= e.size
+		os.Remove(s.path(e.id))
+		s.evictions.Add(1)
+	}
+}
+
+// len and bytes report the index size for metrics; nil-safe.
+func (s *diskStore) len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+func (s *diskStore) bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

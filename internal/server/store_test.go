@@ -1,0 +1,228 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sttllc/internal/sim"
+)
+
+// storeID fabricates a syntactically valid job ID (32 hex chars).
+func storeID(n int) string { return fmt.Sprintf("%032x", n) }
+
+func storeDump(n int) *sim.StatsDump {
+	return &sim.StatsDump{Schema: sim.StatsSchema, Config: fmt.Sprintf("C%d", n), Benchmark: "bfs", Cycles: int64(n)}
+}
+
+func TestStoreRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.put(storeID(1), storeDump(1))
+	got := st.get(storeID(1))
+	if got == nil || got.Cycles != 1 {
+		t.Fatalf("get after put = %+v", got)
+	}
+	if st.get(storeID(2)) != nil {
+		t.Fatal("get of absent id returned a dump")
+	}
+
+	// A fresh store over the same directory re-indexes the file: this is
+	// the restart-survival property the whole layer exists for.
+	st2, err := openStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.len() != 1 {
+		t.Fatalf("reopened store indexed %d entries, want 1", st2.len())
+	}
+	got = st2.get(storeID(1))
+	if got == nil || got.Cycles != 1 || got.Config != "C1" {
+		t.Fatalf("reopened get = %+v", got)
+	}
+}
+
+func TestStoreNilIsInert(t *testing.T) {
+	var st *diskStore
+	st.put(storeID(1), storeDump(1))
+	if st.get(storeID(1)) != nil || st.has(storeID(1)) || st.len() != 0 || st.bytes() != 0 {
+		t.Fatal("nil store not inert")
+	}
+}
+
+func TestStoreCorruptFileQuarantinedOnStartup(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.put(storeID(1), storeDump(1)) // intact
+	st.put(storeID(2), storeDump(2)) // will be truncated
+	st.put(storeID(3), storeDump(3)) // will be bit-flipped
+
+	truncate := st.path(storeID(2))
+	b, _ := os.ReadFile(truncate)
+	if err := os.WriteFile(truncate, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flip := st.path(storeID(3))
+	b, _ = os.ReadFile(flip)
+	b[len(b)-2] ^= 0x40
+	if err := os.WriteFile(flip, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := openStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.len() != 1 {
+		t.Fatalf("indexed %d entries, want 1 (corrupt files must not be served)", st2.len())
+	}
+	if st2.get(storeID(2)) != nil || st2.get(storeID(3)) != nil {
+		t.Fatal("corrupt entry served")
+	}
+	if got := st2.quarantined.Load(); got != 2 {
+		t.Fatalf("quarantined = %d, want 2", got)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 2 {
+		t.Fatalf("quarantine dir: %v entries, err %v (files must be moved aside, not deleted)", len(q), err)
+	}
+	if st2.get(storeID(1)) == nil {
+		t.Fatal("intact entry lost")
+	}
+}
+
+func TestStoreCorruptionAtReadTimeQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.put(storeID(1), storeDump(1))
+	// Corrupt after indexing: the startup scan saw a good file, the read
+	// path must still catch the damage.
+	if err := os.WriteFile(st.path(storeID(1)), []byte("sttllc-store/v1 feedface\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st.get(storeID(1)) != nil {
+		t.Fatal("corrupt entry served")
+	}
+	if st.quarantined.Load() != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.quarantined.Load())
+	}
+	if st.has(storeID(1)) {
+		t.Fatal("corrupt entry still indexed")
+	}
+}
+
+func TestStoreEvictionRespectsBudget(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := openStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.put(storeID(0), storeDump(0))
+	unit := probe.bytes()
+	if unit <= 0 {
+		t.Fatalf("probe size = %d", unit)
+	}
+
+	st, err := openStore(t.TempDir(), unit*2+unit/2) // room for 2, not 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		st.put(storeID(i), storeDump(i))
+	}
+	if st.bytes() > st.budget {
+		t.Fatalf("store over budget: %d > %d", st.bytes(), st.budget)
+	}
+	if st.len() > 2 {
+		t.Fatalf("len = %d, want <= 2", st.len())
+	}
+	if st.evictions.Load() == 0 {
+		t.Fatal("no evictions counted")
+	}
+	// LRU order: the newest entries survive.
+	if st.get(storeID(4)) == nil {
+		t.Fatal("most recent entry evicted")
+	}
+	if st.get(storeID(1)) != nil {
+		t.Fatal("oldest entry survived a over-budget store")
+	}
+	// Evicted files are actually gone from disk.
+	if _, err := os.Stat(st.path(storeID(1))); !os.IsNotExist(err) {
+		t.Fatalf("evicted file still on disk: %v", err)
+	}
+}
+
+func TestStoreConcurrentWritersIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.put(storeID(7), storeDump(7))
+		}()
+	}
+	wg.Wait()
+	if st.len() != 1 {
+		t.Fatalf("len = %d, want 1", st.len())
+	}
+	got := st.get(storeID(7))
+	if got == nil || got.Cycles != 7 {
+		t.Fatalf("get after concurrent puts = %+v", got)
+	}
+	// Atomic rename must leave no temp droppings and exactly one file.
+	var files []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) != 1 || !strings.HasSuffix(files[0], storeID(7)+".json") {
+		t.Fatalf("store dir contents = %v, want exactly the one result file", files)
+	}
+	// Accounting stayed consistent with one file's worth of bytes.
+	if st.bytes() <= 0 || st.bytes() > st.budget {
+		t.Fatalf("bytes = %d", st.bytes())
+	}
+}
+
+func TestStoreIgnoresStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a result"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "ab"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ab", "nothex.json"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.len() != 0 {
+		t.Fatalf("indexed %d stray files", st.len())
+	}
+	if st.quarantined.Load() != 0 {
+		t.Fatal("stray files quarantined; they should be ignored")
+	}
+}

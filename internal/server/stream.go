@@ -1,0 +1,126 @@
+// NDJSON progress streaming for sweeps. GET /v1/sweeps/{id}/events
+// writes one JSON object per line, flushed per event, in a single
+// totally ordered stream:
+//
+//	{"seq":1,"type":"sweep_started","sweep_id":"…","total":16,"completed":0}
+//	{"seq":2,"type":"job_update","sweep_id":"…","job_id":"…","config":"C1",
+//	 "bench":"bfs","state":"queued","total":16,"completed":0}
+//	{"seq":9,"type":"job_update","…","state":"done","ipc":0.41,"cycles":81920,
+//	 "total":16,"completed":1}
+//	…
+//	{"seq":34,"type":"sweep_done","sweep_id":"…","state":"done",
+//	 "total":16,"completed":16,"failed":0,"cancelled":0,"cached":3}
+//
+// seq is dense and strictly increasing per sweep. The event log is
+// retained for the sweep's queryable lifetime, so a late subscriber —
+// or one that reconnects after a drop — replays the full history before
+// going live; the stream ends (EOF) after the sweep's terminal event.
+// Events are appended under the Server mutex but written outside it, so
+// a slow reader never stalls the scheduler.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Event types, in the order a stream can carry them.
+const (
+	evSweepStarted = "sweep_started"
+	evJobUpdate    = "job_update"
+	evSweepDone    = "sweep_done"
+)
+
+// SweepEvent is one NDJSON line of a sweep's event stream.
+type SweepEvent struct {
+	Seq     int    `json:"seq"`
+	Type    string `json:"type"`
+	SweepID string `json:"sweep_id"`
+
+	// job_update fields: which cell changed and what it became.
+	JobID  string `json:"job_id,omitempty"`
+	Config string `json:"config,omitempty"`
+	Bench  string `json:"bench,omitempty"`
+	App    string `json:"app,omitempty"`
+	State  string `json:"state,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	// Partial stats, present on a done job_update: enough to plot a
+	// sweep live without fetching any full dump.
+	IPC    float64 `json:"ipc,omitempty"`
+	Cycles int64   `json:"cycles,omitempty"`
+
+	// Progress, on every event: terminal children over grid size.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// Terminal tallies, meaningful on sweep_done.
+	Failed    int `json:"failed,omitempty"`
+	Cancelled int `json:"cancelled,omitempty"`
+	CachedN   int `json:"cached_jobs,omitempty"`
+}
+
+// appendSweepEventLocked stamps ev with its sequence number, sweep ID,
+// and progress counters, appends it to the sweep's log, and wakes every
+// streamer and waiter. Caller holds s.mu.
+func (s *Server) appendSweepEventLocked(sw *sweep, ev SweepEvent) {
+	ev.Seq = len(sw.events) + 1
+	ev.SweepID = sw.id
+	ev.Completed = sw.terminalChildren()
+	ev.Total = sw.total
+	if ev.Type == evSweepDone {
+		ev.Failed = sw.failed
+		ev.Cancelled = sw.cancelled
+		ev.CachedN = sw.cached
+	}
+	sw.events = append(sw.events, ev)
+	close(sw.notify)
+	sw.notify = make(chan struct{})
+}
+
+// handleSweepEvents streams a sweep's event log as NDJSON: full replay
+// first, then live events until the sweep's terminal event (or the
+// client goes away).
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	if sw == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	for {
+		for next < len(sw.events) {
+			ev := sw.events[next]
+			next++
+			s.mu.Unlock()
+			if err := enc.Encode(ev); err != nil {
+				return // client gone
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			s.mu.Lock()
+		}
+		if sw.terminal() {
+			s.mu.Unlock()
+			return
+		}
+		ch := sw.notify
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+		s.mu.Lock()
+	}
+}
