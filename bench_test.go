@@ -212,6 +212,26 @@ func BenchmarkSimulatorThroughputL3(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 }
 
+// BenchmarkSimulatorThroughputAdaptive is the same measurement with the
+// C4 reconfiguration controller live, so the controller's epoch-event
+// cost is tracked next to the static rows. This row is informational
+// (not in the CI gate set); the gated single-tier row above is what
+// proves a disabled controller costs nothing — the disabled path
+// constructs no controller and schedules no epoch events.
+func BenchmarkSimulatorThroughputAdaptive(b *testing.B) {
+	spec, _ := workloads.ByName("bfs")
+	spec = spec.Scale(0.05)
+	spec.WarpsPerSM = 6
+	cfg := config.C4()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		r := sim.RunOne(cfg, spec, sim.Options{})
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
 func BenchmarkWearLeveling(b *testing.B) {
 	p := benchParams("bfs")
 	b.ResetTimer()

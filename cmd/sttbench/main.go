@@ -111,6 +111,16 @@ func suite() []struct {
 			cfg, _ := config.ByName("C2-L3")
 			sim.RunOne(cfg, spec, sim.Options{})
 		}},
+		// C4 with the reconfiguration controller live: tracks the epoch
+		// events' cost. Not in committed baselines, so ungated; the gated
+		// SimulatorThroughput row is what pins the disabled path, which
+		// constructs no controller and schedules no epoch events.
+		{"SimulatorThroughputAdaptive", func() {
+			spec, _ := workloads.ByName("bfs")
+			spec = spec.Scale(0.05)
+			spec.WarpsPerSM = 6
+			sim.RunOne(config.C4(), spec, sim.Options{})
+		}},
 		{"WearLeveling", func() { experiments.WearLeveling(benchParams("bfs")) }},
 	}
 }

@@ -11,7 +11,7 @@
 //	sttexp -exp fig4 -replay bfs.rec           # drive the sweep from a recording
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig8 ablation area
-// Extensions: power retention lrsize reliability wear runs
+// Extensions: power retention lrsize reliability wear adaptive runs
 //
 // -replaysweeps accelerates the bank-variant sweeps (fig4, fig5): each
 // workload is simulated once and its recorded L2 stream is replayed
@@ -61,7 +61,7 @@ func fig8Chart(title string, res experiments.Fig8Result, pick func(experiments.F
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments (table1,table2,fig3..fig8,ablation,area,power,retention,lrsize,reliability,wear,runs,all)")
+		exp     = flag.String("exp", "all", "comma-separated experiments (table1,table2,fig3..fig8,ablation,area,power,retention,lrsize,reliability,wear,adaptive,runs,all)")
 		scale   = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
 		warps   = flag.Int("warps", 0, "override warp jobs per SM (0 = benchmark default)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
@@ -244,6 +244,11 @@ func main() {
 		rows := experiments.WearLeveling(p)
 		data("wear", rows)
 		text(experiments.FormatWearLeveling(rows))
+	})
+	run("adaptive", func() {
+		rows := experiments.AdaptivePolicySweep(p)
+		data("adaptive", rows)
+		text(experiments.FormatAdaptivePolicySweep(rows))
 	})
 	run("runs", func() {
 		var names []string

@@ -163,6 +163,15 @@ type Cache struct {
 	maskWords int
 	lastMask  uint64
 
+	// Active-way restriction: Victim never allocates into ways >=
+	// activeWays, so an owner can shrink the usable associativity at
+	// runtime (after demoting the lines parked there) and grow it back.
+	// At construction activeWays == Ways and the masks equal the full
+	// ones, so the restriction costs nothing until SetActiveWays is used.
+	activeWays  int
+	activeWords int
+	activeLast  uint64
+
 	// cold[set>>groupShift] is the group slab holding the metadata of
 	// (set&groupMask, way) at index (set&groupMask)*Ways+way; nil until
 	// the group sees its first fill. Valid lines always have a group.
@@ -233,6 +242,9 @@ func New(capacityBytes, ways, lineBytes int) *Cache {
 		groupShift:    gs,
 		groupMask:     1<<gs - 1,
 		rng:           0x9E3779B97F4A7C15,
+		activeWays:    ways,
+		activeWords:   mw,
+		activeLast:    last,
 	}
 	return c
 }
@@ -364,12 +376,22 @@ func (c *Cache) AccessAt(set, way int, write bool, cycle int64) {
 	}
 }
 
-// Victim returns the way to evict in the set: an invalid way if any,
-// otherwise the line chosen by the replacement policy.
+// activeMask returns the active-way mask of mask word wi: like wordMask
+// but truncated at activeWays.
+func (c *Cache) activeMask(wi int) uint64 {
+	if wi == c.activeWords-1 {
+		return c.activeLast
+	}
+	return ^uint64(0)
+}
+
+// Victim returns the way to evict in the set: an invalid active way if
+// any, otherwise the active line chosen by the replacement policy. Ways
+// at or beyond the active bound are never picked.
 func (c *Cache) Victim(set int) int {
 	vbase := set * c.maskWords
-	for wi := 0; wi < c.maskWords; wi++ {
-		if inv := ^c.valid[vbase+wi] & c.wordMask(wi); inv != 0 {
+	for wi := 0; wi < c.activeWords; wi++ {
+		if inv := ^c.valid[vbase+wi] & c.activeMask(wi); inv != 0 {
 			return wi<<6 + bits.TrailingZeros64(inv)
 		}
 	}
@@ -378,24 +400,24 @@ func (c *Cache) Victim(set int) int {
 		c.rng ^= c.rng >> 12
 		c.rng ^= c.rng << 25
 		c.rng ^= c.rng >> 27
-		return int((c.rng * 0x2545F4914F6CDD1D) % uint64(c.Ways))
+		return int((c.rng * 0x2545F4914F6CDD1D) % uint64(c.activeWays))
 	}
 	victim := 0
 	var min uint64 = ^uint64(0)
 	switch c.Policy {
 	case FIFO, WearAware:
-		// Every way is valid here, so the set's group exists.
+		// Every active way is valid here, so the set's group exists.
 		g := c.cold[set>>c.groupShift]
 		base := (set & c.groupMask) * c.Ways
 		if c.Policy == FIFO {
-			for w := 0; w < c.Ways; w++ {
+			for w := 0; w < c.activeWays; w++ {
 				if g[base+w].fill < min {
 					min = g[base+w].fill
 					victim = w
 				}
 			}
 		} else {
-			for w := 0; w < c.Ways; w++ {
+			for w := 0; w < c.activeWays; w++ {
 				if uint64(g[base+w].wear) < min {
 					min = uint64(g[base+w].wear)
 					victim = w
@@ -404,7 +426,7 @@ func (c *Cache) Victim(set int) int {
 		}
 	default: // LRU
 		base := set * c.Ways
-		for w := 0; w < c.Ways; w++ {
+		for w := 0; w < c.activeWays; w++ {
 			if c.lru[base+w] < min {
 				min = c.lru[base+w]
 				victim = w
@@ -412,6 +434,27 @@ func (c *Cache) Victim(set int) int {
 		}
 	}
 	return victim
+}
+
+// ActiveWays returns the current allocation bound (Ways unless
+// SetActiveWays narrowed it).
+func (c *Cache) ActiveWays() int { return c.activeWays }
+
+// SetActiveWays restricts allocation to the first n ways. When
+// shrinking, the caller must first evict every valid line in ways
+// n..Ways-1 (InvalidateWay) — Probe still sees all ways, so a line left
+// behind would keep hitting but never age out of the restricted set.
+// Growing simply re-opens the ways. Panics on n outside [1, Ways].
+func (c *Cache) SetActiveWays(n int) {
+	if n < 1 || n > c.Ways {
+		panic(fmt.Sprintf("cache: active ways %d outside [1, %d]", n, c.Ways))
+	}
+	c.activeWays = n
+	c.activeWords = (n + 63) / 64
+	c.activeLast = ^uint64(0)
+	if r := n % 64; r != 0 {
+		c.activeLast = 1<<uint(r) - 1
+	}
 }
 
 // Evicted describes a line pushed out by Fill or removed by Invalidate.
@@ -681,6 +724,31 @@ func (c *Cache) AppendExpired(dst [][2]int, now int64, maxAge int64) [][2]int {
 	return dst
 }
 
+// RemarkExpiry re-marks every valid line's retention stamp into the
+// expiry wheel. Callers that rebuild the wheel mid-run (EnableExpiryWheel
+// with a new tick/lead after a retention reconfiguration) must re-mark,
+// because a fresh wheel has no buckets set and an unmarked aged line
+// would never be visited by DueSets-driven scans. No-op without a wheel.
+func (c *Cache) RemarkExpiry() {
+	if c.wheel == nil {
+		return
+	}
+	for set := 0; set < c.sets; set++ {
+		vbase := set * c.maskWords
+		base := (set & c.groupMask) * c.Ways
+		var g []coldLine
+		for wi := 0; wi < c.maskWords; wi++ {
+			for m := c.valid[vbase+wi]; m != 0; m &= m - 1 {
+				w := wi<<6 + bits.TrailingZeros64(m)
+				if g == nil {
+					g = c.cold[set>>c.groupShift]
+				}
+				c.wheel.mark(set, g[base+w].retStamp)
+			}
+		}
+	}
+}
+
 // CollectExpired is AppendExpired into a fresh slice.
 func (c *Cache) CollectExpired(now int64, maxAge int64) (setWays [][2]int) {
 	return c.AppendExpired(nil, now, maxAge)
@@ -724,6 +792,9 @@ func (c *Cache) Reset() {
 	c.stamp = 0
 	c.rng = 0x9E3779B97F4A7C15
 	c.validCount = 0
+	c.activeWays = c.Ways
+	c.activeWords = c.maskWords
+	c.activeLast = c.lastMask
 	c.Stats = Stats{}
 	if c.WriteVar != nil {
 		c.WriteVar = stats.NewWriteVariation(c.sets, c.Ways)

@@ -50,6 +50,10 @@ type L2Spec struct {
 	// LRRetention overrides the LR part's retention class (0 = the
 	// default 1ms cell). Used by the retention-sensitivity sweep.
 	LRRetention time.Duration
+	// HRRetention overrides the HR part's retention class (0 = the
+	// default 40ms cell). Used by the adaptive policy sweep's fixed
+	// competitors — the static tiers C4's controller chooses among.
+	HRRetention time.Duration
 	// Replacement selects the victim policy of every L2 array
 	// (default LRU).
 	Replacement cache.Policy
@@ -92,6 +96,9 @@ type GPUConfig struct {
 	// DRAM configures each bank's private memory channel (zero fields
 	// take the paper's defaults).
 	DRAM DRAMSpec
+	// Adaptive enables the C4 online reconfiguration controller on a
+	// two-part L2 (the zero value keeps the organization static).
+	Adaptive AdaptiveSpec
 }
 
 // Baseline hardware constants (Table 2).

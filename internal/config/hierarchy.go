@@ -137,6 +137,14 @@ func (g GPUConfig) lrCell() sttram.Cell {
 	return cell
 }
 
+// hrCell resolves the HR part's cell, honoring the retention override.
+func (g GPUConfig) hrCell() sttram.Cell {
+	if g.L2.HRRetention > 0 {
+		return sttram.NewCell(fmt.Sprintf("STT-%v", g.L2.HRRetention), g.L2.HRRetention)
+	}
+	return sttram.HRCell()
+}
+
 // l3Cell resolves a stacked tier's cell variant.
 func l3Cell(v CellVariant) (sttram.Cell, error) {
 	switch v {
@@ -164,7 +172,7 @@ func (g GPUConfig) Hierarchy() (HierarchySpec, error) {
 			Cell: sttram.ArchivalCell().Name}
 	case L2TwoPart:
 		l2 = TierSpec{Kind: TierTwoPart, TotalBytes: g.L2.Capacity(), Ways: g.L2.HRWays + g.L2.LRWays,
-			Cell: sttram.HRCell().Name + "+" + g.lrCell().Name}
+			Cell: g.hrCell().Name + "+" + g.lrCell().Name}
 	default:
 		return nil, fmt.Errorf("config %s: unknown L2 kind %d", g.Name, g.L2.Kind)
 	}
@@ -228,7 +236,7 @@ func (g GPUConfig) newTier(t TierSpec, back core.Backing) (core.Tier, error) {
 			LRCell:            g.lrCell(),
 			HRBytes:           g.L2.HRBytes / g.NumBanks,
 			HRWays:            g.L2.HRWays,
-			HRCell:            sttram.HRCell(),
+			HRCell:            g.hrCell(),
 			LineBytes:         g.LineBytes,
 			ClockHz:           g.ClockHz,
 			WriteThreshold:    g.L2.WriteThreshold,
@@ -277,6 +285,16 @@ func (g GPUConfig) Validate() (err error) {
 	if err := g.DRAM.validate(); err != nil {
 		return fmt.Errorf("config %s: %w", g.Name, err)
 	}
+	if err := g.Adaptive.validate(g); err != nil {
+		return fmt.Errorf("config %s: %w", g.Name, err)
+	}
+	if g.L2.HRRetention > 0 {
+		if lr := g.lrCell().Retention; lr > 0 && g.L2.HRRetention < lr {
+			// hrTick >= lrTick keeps the bank's TickPeriod the LR scan.
+			return fmt.Errorf("config %s: HR retention %v below the LR retention %v",
+				g.Name, g.L2.HRRetention, lr)
+		}
+	}
 	if _, err := g.NewTiers(g.NewDRAM()); err != nil {
 		return err
 	}
@@ -310,8 +328,9 @@ func C2L3() GPUConfig {
 }
 
 // Extended returns every named configuration: the paper's five (All)
-// plus the stacked-L3 variants. Table 2 and the paper-facing sweeps
-// stay on All; name lookup (ByName) covers the extended set.
+// plus the stacked-L3 variants and the adaptive organization C4.
+// Table 2 and the paper-facing sweeps stay on All; name lookup
+// (ByName) covers the extended set.
 func Extended() []GPUConfig {
-	return append(All(), C1L3(), C2L3())
+	return append(All(), C1L3(), C2L3(), C4())
 }

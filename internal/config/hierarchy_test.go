@@ -9,8 +9,8 @@ import (
 
 func TestExtendedNamesRoundTrip(t *testing.T) {
 	ext := Extended()
-	if len(ext) != 7 {
-		t.Fatalf("Extended() = %d configs, want 7 (paper's 5 + 2 stacked)", len(ext))
+	if len(ext) != 8 {
+		t.Fatalf("Extended() = %d configs, want 8 (paper's 5 + 2 stacked + C4)", len(ext))
 	}
 	for _, g := range ext {
 		got, ok := ByName(g.Name)

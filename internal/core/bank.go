@@ -68,6 +68,12 @@ type Bank interface {
 	// ResetStats zeroes statistics and the energy ledger while keeping
 	// array contents and timing state — the warmup boundary.
 	ResetStats()
+	// RebaseRewriteClock excludes first-write timestamps earlier than
+	// boundary from future rewrite-interval samples, so intervals that
+	// straddle a statistics reset are dropped rather than recorded
+	// against pre-warmup time. The simulator calls it alongside
+	// ResetStats at the warmup boundary.
+	RebaseRewriteClock(boundary int64)
 	Energy() *Energy
 	// LeakageWatts returns the bank's static power (data + tag arrays
 	// and, for the two-part bank, counters and buffers).
@@ -113,6 +119,13 @@ type BankStats struct {
 	// Adaptive-threshold activity (extension; zero when static).
 	ThresholdRaises uint64
 	ThresholdLowers uint64
+
+	// Online-reconfiguration activity (the C4 controller's explicit
+	// transitions; all zero on statically configured banks).
+	ReconfigThreshold uint64 // SetWriteThreshold transitions applied
+	ReconfigLRResize  uint64 // SetLRActiveWays transitions applied
+	ReconfigRetention uint64 // SetHRRetention transitions applied
+	ReconfigDemotions uint64 // LR lines demoted to HR by an LR shrink
 
 	// RewriteIntervals is the Fig. 6 histogram: time between successive
 	// writes to the same LR-resident line, in microseconds.

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"sttllc/internal/dram"
+	"sttllc/internal/sttram"
+)
+
+func floorTestTwoPart() *TwoPartBank {
+	mc := dram.New(8, 2048, dram.DefaultTiming())
+	return NewTwoPartBank(TwoPartConfig{
+		LRBytes: 2 << 10, LRWays: 2, LRCell: sttram.LRCell(),
+		HRBytes: 8 << 10, HRWays: 4, HRCell: sttram.HRCell(),
+		LineBytes: 64, ClockHz: 700e6,
+	}, mc)
+}
+
+// A first write that predates the warmup boundary must not pair with a
+// post-boundary rewrite: the interval straddles the statistics reset
+// and would land in an inflated bucket. The floor comparison is
+// edge-exact — a first write at exactly the boundary cycle is kept, one
+// cycle earlier is dropped.
+func TestRewriteFloorDropsStraddlingInterval(t *testing.T) {
+	b := floorTestTwoPart()
+	b.Access(100, 0x40, true) // allocate into LR at cycle 100
+
+	b.ResetStats()
+	b.RebaseRewriteClock(101) // warmup boundary just past the first write
+
+	b.Access(7100, 0x40, true) // rewrite: first write predates the floor
+	h := b.stats.RewriteIntervals
+	if h.N != 0 {
+		t.Fatalf("straddling rewrite recorded %d samples (%v, overflow %d), want 0",
+			h.N, h.Counts, h.Overflow)
+	}
+	if b.stats.LRWriteHits != 1 {
+		t.Fatalf("LR write hits = %d, want 1 (the hit itself still counts)", b.stats.LRWriteHits)
+	}
+
+	// The rewrite above re-stamped the line inside the measured window,
+	// so the next interval is recorded normally.
+	b.Access(14100, 0x40, true) // 7000 cycles = exactly 10µs at 700MHz
+	if h.N != 1 || h.Counts[2] != 1 {
+		t.Errorf("post-boundary rewrite: N=%d counts=%v, want one ≤10µs sample", h.N, h.Counts)
+	}
+}
+
+// Edge-exactness of the floor itself: lastWrite == boundary is inside
+// the measured window and must be kept; boundary-1 must be dropped.
+func TestRewriteFloorBoundaryEdgeExact(t *testing.T) {
+	kept := floorTestTwoPart()
+	kept.Access(100, 0x40, true)
+	kept.ResetStats()
+	kept.RebaseRewriteClock(100) // floor at the write cycle: kept
+	kept.Access(7100, 0x40, true)
+	if n := kept.stats.RewriteIntervals.N; n != 1 {
+		t.Errorf("first write at the boundary cycle: %d samples, want 1", n)
+	}
+
+	dropped := floorTestTwoPart()
+	dropped.Access(100, 0x40, true)
+	dropped.ResetStats()
+	dropped.RebaseRewriteClock(101) // floor one past the write cycle: dropped
+	dropped.Access(7100, 0x40, true)
+	if n := dropped.stats.RewriteIntervals.N; n != 0 {
+		t.Errorf("first write one cycle before the boundary: %d samples, want 0", n)
+	}
+}
+
+// The uniform bank's dirty-rewrite path honors the same floor.
+func TestUniformRewriteFloor(t *testing.T) {
+	mc := dram.New(8, 2048, dram.DefaultTiming())
+	b := NewUniformBank(UniformConfig{
+		CapacityBytes: 16 << 10, Ways: 4, LineBytes: 64,
+		Cell: sttram.ArchivalCell(), ClockHz: 700e6,
+	}, mc)
+	b.Access(100, 0x40, true) // write-allocate, dirty
+	b.ResetStats()
+	b.RebaseRewriteClock(101)
+	b.Access(7100, 0x40, true) // straddles the boundary: dropped
+	h := b.stats.RewriteIntervals
+	if h.N != 0 {
+		t.Fatalf("uniform straddling rewrite recorded %d samples, want 0", h.N)
+	}
+	b.Access(14100, 0x40, true) // fully inside the window: recorded
+	if h.N != 1 {
+		t.Errorf("uniform post-boundary rewrite: %d samples, want 1", h.N)
+	}
+}
+
+// Reset (unlike ResetStats) returns the bank to construction state, so
+// the floor must clear with it.
+func TestRewriteFloorClearsOnReset(t *testing.T) {
+	b := floorTestTwoPart()
+	b.RebaseRewriteClock(1 << 40)
+	b.Reset()
+	b.Access(100, 0x40, true)
+	b.Access(7100, 0x40, true)
+	if n := b.stats.RewriteIntervals.N; n != 1 {
+		t.Errorf("after Reset: %d samples, want 1 (floor should be cleared)", n)
+	}
+}

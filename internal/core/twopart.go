@@ -113,6 +113,18 @@ type TwoPartBank struct {
 	winOverflows  uint64
 	winMigrations uint64
 
+	// Online-reconfiguration state (see reconfig.go): the HR cell
+	// currently installed (cfg.HRCell unless SetHRRetention switched
+	// tiers) and whether an external controller owns the threshold.
+	hrCell           sttram.Cell
+	thresholdManaged bool
+
+	// rewriteFloor excludes pre-warmup first-write timestamps from the
+	// Fig. 6 rewrite-interval histogram: a line whose previous write
+	// predates the floor contributes no sample (its interval straddles
+	// the statistics reset and would land in an inflated bucket).
+	rewriteFloor int64
+
 	hr2lr *swapBuffer
 	lr2hr *swapBuffer
 
@@ -167,6 +179,7 @@ func NewTwoPartBank(cfg TwoPartConfig, back Backing) *TwoPartBank {
 		msh:       newMSHR(),
 	}
 	b.mc, _ = back.(*dram.Controller)
+	b.hrCell = cfg.HRCell
 	b.lr.Policy = cfg.Replacement
 	b.hr.Policy = cfg.Replacement
 	b.lrWriteOcc = writeOccupancy(b.lrReadCy, b.lrWriteCy)
@@ -306,7 +319,9 @@ func (b *TwoPartBank) accessWrite(now int64, addr uint64) (int64, bool) {
 	// Writes search the LR part first (cache search selector).
 	if set, way, hit := b.lr.Probe(addr); hit {
 		at := start + b.probeCost(1)
-		b.stats.RewriteIntervals.Add(usOf(now-b.lr.LastWriteCycleAt(set, way), b.cfg.ClockHz))
+		if last := b.lr.LastWriteCycleAt(set, way); last >= b.rewriteFloor {
+			b.stats.RewriteIntervals.Add(usOf(now-last, b.cfg.ClockHz))
+		}
 		b.lr.AccessAt(set, way, true, now)
 		b.stats.WriteHits++
 		b.stats.LRWriteHits++
@@ -621,13 +636,28 @@ func (b *TwoPartBank) OverheadBytes() int {
 	return rcBits/8 + 2*b.cfg.BufferBlocks*b.cfg.LineBytes
 }
 
+// RebaseRewriteClock marks boundary as the earliest first-write
+// timestamp the rewrite-interval histogram may pair with a later
+// rewrite. The simulator calls it at the warmup reset so intervals
+// whose first write predates the measured region are dropped instead of
+// recorded against pre-warmup time. Line timestamps themselves are
+// untouched (the reference model compares them bit-exactly).
+func (b *TwoPartBank) RebaseRewriteClock(boundary int64) { b.rewriteFloor = boundary }
+
 // Reset implements Bank.
 func (b *TwoPartBank) Reset() {
-	b.lr.Reset()
+	b.lr.Reset() // also restores the LR active-way bound
 	b.hr.Reset()
 	if b.mc != nil {
 		b.mc.Reset()
 	}
+	if b.hrCell != b.cfg.HRCell {
+		// A retention switch changed the derived HR parameters and the
+		// expiry wheel's geometry; a reset bank is the configured one.
+		b.applyHRCell(b.cfg.HRCell)
+		b.hr.EnableExpiryWheel(b.hrTickCy, b.hrRetCy)
+	}
+	b.thresholdManaged = false
 	b.hr2lr.reset()
 	b.lr2hr.reset()
 	b.threshold = b.cfg.WriteThreshold
@@ -639,6 +669,7 @@ func (b *TwoPartBank) Reset() {
 	b.msh.reset()
 	b.lastLRScan = 0
 	b.lastHRScan = 0
+	b.rewriteFloor = 0
 	b.stats = BankStats{RewriteIntervals: NewRewriteHistogram()}
 	b.energy = Energy{}
 }

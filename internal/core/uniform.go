@@ -43,6 +43,10 @@ type UniformBank struct {
 	arr2  ports // data subarrays
 	msh   *mshr
 
+	// rewriteFloor excludes pre-warmup first-write timestamps from the
+	// rewrite-interval histogram (see TwoPartBank.rewriteFloor).
+	rewriteFloor int64
+
 	stats  BankStats
 	energy Energy
 }
@@ -142,7 +146,9 @@ func (b *UniformBank) Access(now int64, addr uint64, write bool) (int64, bool) {
 	set, way, hit := b.arr.Probe(addr)
 	if hit {
 		if write && b.arr.DirtyAt(set, way) {
-			b.stats.RewriteIntervals.Add(usOf(now-b.arr.LastWriteCycleAt(set, way), b.cfg.ClockHz))
+			if last := b.arr.LastWriteCycleAt(set, way); last >= b.rewriteFloor {
+				b.stats.RewriteIntervals.Add(usOf(now-last, b.cfg.ClockHz))
+			}
 		}
 		b.arr.AccessAt(set, way, write, now)
 		if write {
@@ -231,6 +237,11 @@ func (b *UniformBank) LeakageWatts() float64 {
 	return dataKB*b.cfg.Cell.LeakagePerKB + tagKB*sttram.SRAMCell().LeakagePerKB
 }
 
+// RebaseRewriteClock marks boundary as the earliest first-write
+// timestamp the rewrite-interval histogram may pair with a later
+// rewrite; see TwoPartBank.RebaseRewriteClock.
+func (b *UniformBank) RebaseRewriteClock(boundary int64) { b.rewriteFloor = boundary }
+
 // Reset implements Bank.
 func (b *UniformBank) Reset() {
 	b.arr.Reset()
@@ -238,6 +249,7 @@ func (b *UniformBank) Reset() {
 		b.mc.Reset()
 	}
 	b.front = 0
+	b.rewriteFloor = 0
 	b.arr2.reset()
 	b.msh.reset()
 	b.stats = BankStats{RewriteIntervals: NewRewriteHistogram()}

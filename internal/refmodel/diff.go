@@ -87,6 +87,10 @@ func Organizations() []Org {
 		{Name: "C2", New: func() Pair { return twoPart(config.C2()) }},
 		{Name: "baseline-STT", New: func() Pair { return uniform(config.BaselineSTT()) }},
 		{Name: "C2-L3", New: func() Pair { return stacked(config.C2L3()) }},
+		// C4's bank is structurally C2's; what the differential harness
+		// adds for it is the transition path (DiffTransitions applies the
+		// controller's reconfigurations to both sides mid-trace).
+		{Name: "C4", New: func() Pair { return twoPart(config.C4()) }},
 	}
 }
 

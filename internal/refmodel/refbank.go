@@ -211,6 +211,11 @@ type RefTwoPart struct {
 	winOverflows  uint64
 	winMigrations uint64
 
+	// hrCell is the currently installed HR cell (cfg.HRCell until a
+	// SetHRRetention transition switches tiers), mirroring the optimized
+	// bank's reconfiguration state.
+	hrCell sttram.Cell
+
 	hr2lr *refSwapBuffer
 	lr2hr *refSwapBuffer
 
@@ -221,6 +226,10 @@ type RefTwoPart struct {
 
 	lrWriteOcc int64
 	hrWriteOcc int64
+
+	// rewriteFloor mirrors TwoPartBank.rewriteFloor: first-write
+	// timestamps below it contribute no rewrite-interval sample.
+	rewriteFloor int64
 
 	stats  core.BankStats
 	energy core.Energy
@@ -253,6 +262,7 @@ func NewTwoPart(cfg core.TwoPartConfig, mc core.Backing) *RefTwoPart {
 		lr2hr:     &refSwapBuffer{capacity: cfg.BufferBlocks},
 		msh:       map[uint64]int64{},
 		threshold: cfg.WriteThreshold,
+		hrCell:    cfg.HRCell,
 	}
 	b.lrWriteOcc = writeOccupancy(b.lrReadCy, b.lrWriteCy)
 	b.hrWriteOcc = writeOccupancy(b.hrReadCy, b.hrWriteCy)
@@ -313,7 +323,9 @@ func (b *RefTwoPart) accessWrite(now int64, addr uint64) (int64, bool) {
 	// Writes search the LR part first.
 	if set, way, hit := b.lr.probe(addr); hit {
 		at := start + b.probeCost(1)
-		b.stats.RewriteIntervals.Add(usOf(now-b.lr.lines[set][way].lastWrite, b.cfg.ClockHz))
+		if last := b.lr.lines[set][way].lastWrite; last >= b.rewriteFloor {
+			b.stats.RewriteIntervals.Add(usOf(now-last, b.cfg.ClockHz))
+		}
 		b.lr.accessAt(set, way, true, now)
 		b.stats.WriteHits++
 		b.stats.LRWriteHits++
@@ -544,11 +556,113 @@ func (b *RefTwoPart) adaptThreshold() {
 	}
 }
 
+// ---- Online reconfiguration (mirrors internal/core/reconfig.go) ----
+//
+// Each transition is a line-for-line transcription of the optimized
+// bank's: pending scans first, then exactly one structural change, with
+// displaced lines demoted through the ordinary paths in (set, way)
+// order. The reference has no expiry wheel, so a retention switch needs
+// no re-marking — but it must apply the same scan-clock realignment,
+// or the two models' scan boundaries (and therefore every later expiry)
+// diverge.
+
+// SetWriteThreshold mirrors TwoPartBank.SetWriteThreshold.
+func (b *RefTwoPart) SetWriteThreshold(now int64, th uint8) uint8 {
+	b.Tick(now)
+	if th < b.cfg.WriteThreshold {
+		th = b.cfg.WriteThreshold
+	}
+	if th > 15 {
+		th = 15
+	}
+	if th == b.threshold {
+		return th
+	}
+	b.threshold = th
+	b.stats.ReconfigThreshold++
+	return th
+}
+
+// SetLRActiveWays mirrors TwoPartBank.SetLRActiveWays.
+func (b *RefTwoPart) SetLRActiveWays(now int64, n int) int {
+	b.Tick(now)
+	if n < 1 {
+		n = 1
+	}
+	if n > b.cfg.LRWays {
+		n = b.cfg.LRWays
+	}
+	cur := b.lr.activeWays
+	if n == cur {
+		return n
+	}
+	if n < cur {
+		for set := 0; set < b.lr.sets; set++ {
+			for way := n; way < cur; way++ {
+				if !b.lr.lines[set][way].valid {
+					continue
+				}
+				ev := b.lr.invalidateWay(set, way)
+				b.returnToHR(now, ev)
+				b.stats.ReconfigDemotions++
+			}
+		}
+	}
+	b.lr.activeWays = n
+	b.stats.ReconfigLRResize++
+	return n
+}
+
+// SetHRRetention mirrors TwoPartBank.SetHRRetention: run pending scans,
+// recompute the HR cell's derived parameters, realign the HR scan clock
+// to a multiple of the new counter window, and expire lines already
+// over the new retention age.
+func (b *RefTwoPart) SetHRRetention(now int64, ret time.Duration) time.Duration {
+	b.Tick(now)
+	if ret == b.hrCell.Retention {
+		return ret
+	}
+	cell := sttram.NewCell(fmt.Sprintf("HR-%v", ret), ret)
+	b.hrCell = cell
+	b.hrReadCy = cyclesOf(cell.ReadLatency, b.cfg.ClockHz)
+	b.hrWriteCy = cyclesOf(cell.WriteLatency, b.cfg.ClockHz)
+	b.hrReadE = cell.EnergyPerBlock(b.cfg.LineBytes, false)
+	b.hrWriteE = cell.EnergyPerBlock(b.cfg.LineBytes, true)
+	b.hrWriteOcc = writeOccupancy(b.hrReadCy, b.hrWriteCy)
+	b.hrRetCy = cyclesOf(cell.Retention, b.cfg.ClockHz)
+	b.hrTickCy = b.hrRetCy >> uint(b.cfg.HRCounterBits)
+	if b.hrTickCy < 1 {
+		b.hrTickCy = 1
+	}
+	b.lastHRScan = now - now%b.hrTickCy
+	var expired [][2]int
+	for set := range b.hr.lines {
+		for way := range b.hr.lines[set] {
+			l := &b.hr.lines[set][way]
+			if l.valid && now-l.retStamp >= b.hrRetCy {
+				expired = append(expired, [2]int{set, way})
+			}
+		}
+	}
+	for _, sw := range expired {
+		ev := b.hr.invalidateWay(sw[0], sw[1])
+		if ev.dirty {
+			writeback(b.mc, now, ev.addr, &b.stats)
+		}
+		b.stats.HRExpiries++
+	}
+	b.stats.ReconfigRetention++
+	return ret
+}
+
 // Drain implements Bank.
 func (b *RefTwoPart) Drain(now int64) {
 	b.lr.flushDirty(func(addr uint64) { writeback(b.mc, now, addr, &b.stats) })
 	b.hr.flushDirty(func(addr uint64) { writeback(b.mc, now, addr, &b.stats) })
 }
+
+// RebaseRewriteClock mirrors TwoPartBank.RebaseRewriteClock.
+func (b *RefTwoPart) RebaseRewriteClock(boundary int64) { b.rewriteFloor = boundary }
 
 // Stats implements Bank.
 func (b *RefTwoPart) Stats() *core.BankStats { return &b.stats }
@@ -572,6 +686,9 @@ type RefUniform struct {
 	front int64
 	arr2  ports
 	msh   map[uint64]int64
+
+	// rewriteFloor mirrors UniformBank.rewriteFloor.
+	rewriteFloor int64
 
 	stats  core.BankStats
 	energy core.Energy
@@ -621,7 +738,9 @@ func (b *RefUniform) Access(now int64, addr uint64, write bool) (int64, bool) {
 	set, way, hit := b.arr.probe(addr)
 	if hit {
 		if write && b.arr.lines[set][way].dirty {
-			b.stats.RewriteIntervals.Add(usOf(now-b.arr.lines[set][way].lastWrite, b.cfg.ClockHz))
+			if last := b.arr.lines[set][way].lastWrite; last >= b.rewriteFloor {
+				b.stats.RewriteIntervals.Add(usOf(now-last, b.cfg.ClockHz))
+			}
 		}
 		b.arr.accessAt(set, way, write, now)
 		if write {
@@ -671,6 +790,9 @@ func (b *RefUniform) Tick(int64) {}
 func (b *RefUniform) Drain(now int64) {
 	b.arr.flushDirty(func(addr uint64) { writeback(b.mc, now, addr, &b.stats) })
 }
+
+// RebaseRewriteClock mirrors UniformBank.RebaseRewriteClock.
+func (b *RefUniform) RebaseRewriteClock(boundary int64) { b.rewriteFloor = boundary }
 
 // Stats implements Bank.
 func (b *RefUniform) Stats() *core.BankStats { return &b.stats }

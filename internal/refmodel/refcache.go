@@ -55,6 +55,10 @@ type refCache struct {
 	lines     [][]refLine // [set][way]
 	stamp     uint64
 	stats     cache.Stats
+	// activeWays bounds allocation (victim selection) when an online
+	// reconfiguration narrows the usable associativity; probes still see
+	// all ways, exactly like the optimized array.
+	activeWays int
 }
 
 func log2of(v int) uint {
@@ -68,12 +72,13 @@ func log2of(v int) uint {
 func newRefCache(capacityBytes, ways, lineBytes int) *refCache {
 	sets := capacityBytes / (ways * lineBytes)
 	c := &refCache{
-		ways:      ways,
-		lineBytes: lineBytes,
-		sets:      sets,
-		setShift:  log2of(lineBytes),
-		tagShift:  log2of(sets),
-		lines:     make([][]refLine, sets),
+		ways:       ways,
+		lineBytes:  lineBytes,
+		sets:       sets,
+		setShift:   log2of(lineBytes),
+		tagShift:   log2of(sets),
+		lines:      make([][]refLine, sets),
+		activeWays: ways,
 	}
 	for s := range c.lines {
 		c.lines[s] = make([]refLine, ways)
@@ -125,17 +130,17 @@ func (c *refCache) accessAt(set, way int, write bool, cycle int64) {
 	}
 }
 
-// victim picks the way to evict: the lowest-index invalid way if any,
-// otherwise the valid line with the smallest use stamp (lowest way on
-// ties).
+// victim picks the way to evict among the active ways: the lowest-index
+// invalid way if any, otherwise the valid line with the smallest use
+// stamp (lowest way on ties).
 func (c *refCache) victim(set int) int {
-	for w := range c.lines[set] {
+	for w := 0; w < c.activeWays; w++ {
 		if !c.lines[set][w].valid {
 			return w
 		}
 	}
 	victim, min := 0, ^uint64(0)
-	for w := range c.lines[set] {
+	for w := 0; w < c.activeWays; w++ {
 		if c.lines[set][w].use < min {
 			min = c.lines[set][w].use
 			victim = w

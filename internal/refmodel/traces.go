@@ -2,6 +2,7 @@ package refmodel
 
 import (
 	"encoding/binary"
+	"time"
 
 	"sttllc/internal/trace"
 )
@@ -123,4 +124,73 @@ func DecodeFuzzTrace(data []byte, orgs int) (org int, records []trace.Record) {
 		})
 	}
 	return org, records
+}
+
+// fuzzRetentionLadder is the retention tiers fuzz-decoded transitions
+// pick from: the C4 default ladder, so every fuzzed switch is one a
+// validated configuration could actually perform (each tier is at or
+// above the LR retention, keeping the tick cadence invariant).
+var fuzzRetentionLadder = []time.Duration{
+	10 * time.Millisecond, 40 * time.Millisecond, 160 * time.Millisecond,
+}
+
+// DecodeFuzzTransitions turns raw fuzzer bytes into an interleaved
+// access stream and reconfiguration schedule for DiffTransitions. Any
+// byte string decodes to a valid (records, transitions) pair: each
+// item starts with a selector byte whose low two bits pick a record
+// (3) or a transition kind (0-2); records then follow the
+// DecodeFuzzTrace shape (uvarint cycle delta, uvarint line, flag
+// byte), transitions a uvarint cycle delta and a uvarint operand
+// (threshold, LR way bound, or retention-ladder index). Cycles share
+// one monotone clock so both streams stay ordered.
+func DecodeFuzzTransitions(data []byte) (records []trace.Record, trans []Transition) {
+	lineBytes := uint64(256)
+	now := int64(0)
+	step := func() (int64, uint64, bool) {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, 0, false
+		}
+		data = data[n:]
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, 0, false
+		}
+		data = data[n:]
+		now += int64(delta % uint64(maxFuzzCycleSpan/maxFuzzRecords))
+		return now, v, now <= maxFuzzCycleSpan
+	}
+	for len(data) > 0 && len(records)+len(trans) < maxFuzzRecords {
+		sel := data[0]
+		data = data[1:]
+		if sel&3 == 3 {
+			at, line, ok := step()
+			if !ok || len(data) == 0 {
+				break
+			}
+			write := data[0]&1 != 0
+			data = data[1:]
+			records = append(records, trace.Record{
+				Cycle: at,
+				Addr:  (line % (1 << 20)) * lineBytes,
+				Write: write,
+			})
+			continue
+		}
+		at, v, ok := step()
+		if !ok {
+			break
+		}
+		t := Transition{Cycle: at, Kind: TransitionKind(sel & 3)}
+		switch t.Kind {
+		case TransThreshold:
+			t.Threshold = uint8(v % 16)
+		case TransLRWays:
+			t.LRWays = int(v % 4)
+		case TransRetention:
+			t.Retention = fuzzRetentionLadder[v%uint64(len(fuzzRetentionLadder))]
+		}
+		trans = append(trans, t)
+	}
+	return records, trans
 }

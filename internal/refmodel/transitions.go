@@ -1,0 +1,169 @@
+// Differential replay with mid-run reconfiguration: the adaptive (C4)
+// counterpart of Diff. A transition schedule — the same shape of
+// SetWriteThreshold / SetLRActiveWays / SetHRRetention calls the
+// online controller (internal/sim) emits — is applied to the optimized
+// bank and its reference twin at identical cycles between accesses,
+// and full state (stats, energy, array contents, invariants) is
+// compared after every transition as well as after every access and
+// retention boundary. This is what pins the transition API's semantics:
+// any drift between the optimized demotion/expiry/realignment paths
+// and the reference's obvious full-scan versions fails the replay at
+// the first diverging field.
+package refmodel
+
+import (
+	"fmt"
+	"time"
+
+	"sttllc/internal/core"
+	"sttllc/internal/trace"
+)
+
+// TransitionKind selects which structural parameter a Transition sets.
+type TransitionKind uint8
+
+const (
+	TransThreshold TransitionKind = iota // WWS migration threshold
+	TransLRWays                          // LR active associativity
+	TransRetention                       // HR retention tier
+)
+
+// Transition is one scheduled reconfiguration. Cycles must be
+// non-decreasing within a schedule; transitions at a cycle are applied
+// before any access at the same cycle (matching the simulator, where
+// the epoch event on the timer engine fires before same-cycle SM
+// work is visited).
+type Transition struct {
+	Cycle     int64
+	Kind      TransitionKind
+	Threshold uint8         // TransThreshold
+	LRWays    int           // TransLRWays
+	Retention time.Duration // TransRetention
+}
+
+// apply drives one transition into both sides and checks the applied
+// (clamped) values agree.
+func (t Transition) apply(opt *core.TwoPartBank, ref *RefTwoPart) error {
+	switch t.Kind {
+	case TransThreshold:
+		o, r := opt.SetWriteThreshold(t.Cycle, t.Threshold), ref.SetWriteThreshold(t.Cycle, t.Threshold)
+		if o != r {
+			return fmt.Errorf("threshold transition applied differently: optimized %d, reference %d", o, r)
+		}
+	case TransLRWays:
+		o, r := opt.SetLRActiveWays(t.Cycle, t.LRWays), ref.SetLRActiveWays(t.Cycle, t.LRWays)
+		if o != r {
+			return fmt.Errorf("LR-ways transition applied differently: optimized %d, reference %d", o, r)
+		}
+	case TransRetention:
+		o, r := opt.SetHRRetention(t.Cycle, t.Retention), ref.SetHRRetention(t.Cycle, t.Retention)
+		if o != r {
+			return fmt.Errorf("retention transition applied differently: optimized %v, reference %v", o, r)
+		}
+	default:
+		return fmt.Errorf("unknown transition kind %d", t.Kind)
+	}
+	return nil
+}
+
+// DiffTransitions replays records into both sides of a two-part pair
+// like Diff, interleaving the transition schedule at its cycles, and
+// fails on the first divergence. The pair must be a two-part
+// organization (only those have a transition API); transitions must be
+// sorted by cycle and every cycle must be at or before the last
+// record's. Retention boundaries are driven at the bank's TickPeriod,
+// which the transition ladder keeps invariant (hrTick >= lrTick for
+// every legal tier), so the boundary sequence computed up front stays
+// valid across retention switches.
+func DiffTransitions(p Pair, records []trace.Record, trans []Transition) error {
+	opt, ok := p.Opt.(*core.TwoPartBank)
+	if !ok {
+		return fmt.Errorf("%s: transitions require a two-part bank, got %T", p.Name, p.Opt)
+	}
+	ref, ok := p.Ref.(*RefTwoPart)
+	if !ok {
+		return fmt.Errorf("%s: transitions require a RefTwoPart reference, got %T", p.Name, p.Ref)
+	}
+	if err := trace.Validate(records); err != nil {
+		return fmt.Errorf("%s: %w", p.Name, err)
+	}
+	for i := 1; i < len(trans); i++ {
+		if trans[i].Cycle < trans[i-1].Cycle {
+			return fmt.Errorf("%s: transition %d out of order (cycle %d after %d)",
+				p.Name, i, trans[i].Cycle, trans[i-1].Cycle)
+		}
+	}
+
+	period := p.Opt.TickPeriod()
+	boundary := period
+	ti := 0
+	advance := func(to int64) error {
+		// Interleave retention boundaries and due transitions in cycle
+		// order, comparing state after each.
+		for {
+			nextB := int64(-1)
+			if period > 0 && boundary <= to {
+				nextB = boundary
+			}
+			nextT := int64(-1)
+			if ti < len(trans) && trans[ti].Cycle <= to {
+				nextT = trans[ti].Cycle
+			}
+			switch {
+			case nextB < 0 && nextT < 0:
+				return nil
+			case nextT < 0 || (nextB >= 0 && nextB <= nextT):
+				p.Opt.Tick(boundary)
+				p.Ref.Tick(boundary)
+				if err := compareAt(fmt.Sprintf("%s: tick boundary %d", p.Name, boundary), p, boundary); err != nil {
+					return err
+				}
+				boundary += period
+			default:
+				t := trans[ti]
+				ti++
+				if err := t.apply(opt, ref); err != nil {
+					return fmt.Errorf("%s: transition %d (cycle %d): %w", p.Name, ti-1, t.Cycle, err)
+				}
+				if err := compareAt(fmt.Sprintf("%s: transition %d (cycle %d)", p.Name, ti-1, t.Cycle), p, t.Cycle); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	var end int64
+	for i, rec := range records {
+		if err := advance(rec.Cycle); err != nil {
+			return err
+		}
+		optDone, optHit := p.Opt.Access(rec.Cycle, rec.Addr, rec.Write)
+		refDone, refHit := p.Ref.Access(rec.Cycle, rec.Addr, rec.Write)
+		ctx := fmt.Sprintf("%s: record %d (cycle %d addr %#x write %v)", p.Name, i, rec.Cycle, rec.Addr, rec.Write)
+		if optDone != refDone || optHit != refHit {
+			return fmt.Errorf("%s: done/hit diverged: optimized (%d, %v), reference (%d, %v)",
+				ctx, optDone, optHit, refDone, refHit)
+		}
+		if err := compareAt(ctx, p, rec.Cycle); err != nil {
+			return err
+		}
+		end = rec.Cycle
+	}
+	if err := advance(end); err != nil {
+		return err
+	}
+
+	p.Opt.Tick(end)
+	p.Ref.Tick(end)
+	p.Opt.Drain(end)
+	p.Ref.Drain(end)
+	ctx := fmt.Sprintf("%s: final state (cycle %d)", p.Name, end)
+	if err := compareAt(ctx, p, end); err != nil {
+		return err
+	}
+	if p.OptMC.Stats != p.RefMC.Stats {
+		return fmt.Errorf("%s: DRAM stats diverged: optimized %+v, reference %+v",
+			ctx, p.OptMC.Stats, p.RefMC.Stats)
+	}
+	return nil
+}

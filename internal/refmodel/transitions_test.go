@@ -1,0 +1,166 @@
+package refmodel
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"sttllc/internal/config"
+	"sttllc/internal/core"
+)
+
+// c4Pair builds a fresh C4 differential pair (structurally C2's bank;
+// the transition schedule is what makes it adaptive).
+func c4Pair() Pair {
+	g := config.C4()
+	optMC, refMC := g.NewDRAM(), g.NewDRAM()
+	opt := g.NewBank(optMC).(*core.TwoPartBank)
+	return Pair{
+		Name:  g.Name,
+		Opt:   opt,
+		Ref:   NewTwoPart(opt.Config(), refMC),
+		OptMC: optMC,
+		RefMC: refMC,
+	}
+}
+
+// adaptiveSchedule spreads the full transition repertoire across a
+// trace span: a threshold raise, an LR shrink to one way (the forced
+// LR-share shrink), a retention step down, an LR grow back, a
+// retention step up, and a threshold relaxation — every kind of
+// transition the C4 controller can emit, in both directions.
+func adaptiveSchedule(span int64) []Transition {
+	at := func(num int64) int64 { return span * num / 8 }
+	return []Transition{
+		{Cycle: at(1), Kind: TransThreshold, Threshold: 3},
+		{Cycle: at(2), Kind: TransLRWays, LRWays: 1},
+		{Cycle: at(3), Kind: TransRetention, Retention: 10 * time.Millisecond},
+		{Cycle: at(4), Kind: TransLRWays, LRWays: 2},
+		{Cycle: at(5), Kind: TransRetention, Retention: 160 * time.Millisecond},
+		{Cycle: at(6), Kind: TransThreshold, Threshold: 1},
+	}
+}
+
+// TestDiffTransitionsSeeded replays synthetic traces through the C4
+// pair with the full transition schedule interleaved, comparing the
+// optimized bank against the reference after every access, retention
+// boundary, and transition.
+func TestDiffTransitionsSeeded(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 40, 77, 101} {
+		records := SyntheticTrace(seed, 1200)
+		span := records[len(records)-1].Cycle
+		if err := DiffTransitions(c4Pair(), records, adaptiveSchedule(span)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTransitionCounterConservation pins the bookkeeping of a known
+// schedule: every effective transition bumps exactly one Reconfig
+// counter, no-op calls bump none, and shrink demotions are bounded by
+// the LR geometry and conserved into the ordinary LR->HR return-path
+// counters.
+func TestTransitionCounterConservation(t *testing.T) {
+	p := c4Pair()
+	records := SyntheticTrace(40, 1500)
+	span := records[len(records)-1].Cycle
+	sched := adaptiveSchedule(span)
+	// Append no-op calls: re-setting the current values must not count.
+	sched = append(sched,
+		Transition{Cycle: span * 7 / 8, Kind: TransThreshold, Threshold: 1},
+		Transition{Cycle: span * 7 / 8, Kind: TransLRWays, LRWays: 2},
+		Transition{Cycle: span * 7 / 8, Kind: TransRetention, Retention: 160 * time.Millisecond},
+	)
+	if err := DiffTransitions(p, records, sched); err != nil {
+		t.Fatal(err)
+	}
+	opt := p.Opt.(*core.TwoPartBank)
+	st := opt.Stats()
+	if st.ReconfigThreshold != 2 {
+		t.Errorf("ReconfigThreshold = %d, want 2 (raise + relax; no-op excluded)", st.ReconfigThreshold)
+	}
+	if st.ReconfigLRResize != 2 {
+		t.Errorf("ReconfigLRResize = %d, want 2 (shrink + grow; no-op excluded)", st.ReconfigLRResize)
+	}
+	if st.ReconfigRetention != 2 {
+		t.Errorf("ReconfigRetention = %d, want 2 (down + up; no-op excluded)", st.ReconfigRetention)
+	}
+	lrSets := opt.LRArray().Sets()
+	if st.ReconfigDemotions > uint64(lrSets) {
+		t.Errorf("ReconfigDemotions = %d exceeds one shrink's bound of %d (one deactivated way x %d sets)",
+			st.ReconfigDemotions, lrSets, lrSets)
+	}
+	// Every demoted line took the ordinary return path: granted a swap
+	// buffer slot (EvictionsToHR) or overflowed to a writeback/drop.
+	if st.ReconfigDemotions > st.EvictionsToHR+st.OverflowWritebacks+st.LRExpiryDrops {
+		t.Errorf("ReconfigDemotions = %d not conserved into return-path counters (%d+%d+%d)",
+			st.ReconfigDemotions, st.EvictionsToHR, st.OverflowWritebacks, st.LRExpiryDrops)
+	}
+	if st.ReconfigDemotions == 0 {
+		t.Error("ReconfigDemotions = 0: the forced LR shrink demoted nothing; schedule no longer forces a shrink")
+	}
+	if opt.LRActiveWays() != 2 {
+		t.Errorf("LRActiveWays = %d after grow-back, want 2", opt.LRActiveWays())
+	}
+	if got := opt.HRRetention(); got != 160*time.Millisecond {
+		t.Errorf("HRRetention = %v after final switch, want 160ms", got)
+	}
+	if !opt.ThresholdManaged() {
+		t.Error("ThresholdManaged = false after threshold transitions")
+	}
+}
+
+// FuzzAdaptiveTransitions drives fuzzer-shaped interleavings of
+// accesses and reconfigurations through the C4 differential pair: any
+// byte string decodes to a valid bounded (trace, schedule) pair, and
+// any divergence between the optimized transition paths and the
+// reference's full-scan versions fails.
+func FuzzAdaptiveTransitions(f *testing.F) {
+	uv := func(b []byte, vs ...uint64) []byte {
+		for _, v := range vs {
+			b = binary.AppendUvarint(b, v)
+		}
+		return b
+	}
+	// Writes into a small hot set, then an LR shrink, more writes, and
+	// a retention step down: the shrink demotes live dirty lines and the
+	// switch re-times the survivors.
+	var s1 []byte
+	for i := uint64(0); i < 8; i++ {
+		s1 = append(uv(append(s1, 3), 40, i%3), 1)
+	}
+	s1 = uv(append(s1, byte(TransLRWays)), 100, 1)
+	for i := uint64(0); i < 8; i++ {
+		s1 = append(uv(append(s1, 3), 40, i%3), 1)
+	}
+	s1 = uv(append(s1, byte(TransRetention)), 100, 0)
+	f.Add(s1)
+
+	// Threshold sweep around reads: raise mid-stream, relax at the end.
+	var s2 []byte
+	s2 = uv(append(s2, byte(TransThreshold)), 10, 5)
+	for i := uint64(0); i < 12; i++ {
+		s2 = append(uv(append(s2, 3), 60, i%5), 0)
+	}
+	s2 = uv(append(s2, byte(TransThreshold)), 10, 1)
+	f.Add(s2)
+
+	// Retention ladder walk with long gaps so expiry interacts with the
+	// switches.
+	var s3 []byte
+	for i, tier := range []uint64{0, 2, 1} {
+		s3 = append(uv(append(s3, 3), 50000, uint64(i)), 1)
+		s3 = uv(append(s3, byte(TransRetention)), 50000, tier)
+	}
+	f.Add(s3)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, trans := DecodeFuzzTransitions(data)
+		if len(records) == 0 {
+			t.Skip("no records decoded")
+		}
+		if err := DiffTransitions(c4Pair(), records, trans); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

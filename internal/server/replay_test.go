@@ -3,7 +3,10 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"sttllc/internal/sim"
 )
@@ -83,6 +86,65 @@ func TestReplayJobsShareOneRecording(t *testing.T) {
 	}
 	if got := counter(t, s, "server.recordings_cached"); got != 1 {
 		t.Errorf("recordings_cached = %d, want 1", got)
+	}
+}
+
+// TestReplayCancelHammer storms the replay path — whose jobs funnel
+// through the shared RecordingCache singleflight — with submissions
+// racing DELETE cancellations. Run under -race this exercises leader
+// cancellation and abandoned waiters; the closing wait=true request
+// proves no interleaving leaves the recording entry pinned (a pinned
+// entry would hang that request until the test times out).
+func TestReplayCancelHammer(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 3, QueueDepth: 64})
+	h := s.Handler()
+	cfgs := []string{"C1", "C2", "C3"}
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i, cfg := range cfgs {
+			wg.Add(1)
+			go func(r, i int, cfg string) {
+				defer wg.Done()
+				req := replayReq("bfs", cfg)
+				rec, st := postJSON(t, h, "/v1/simulations", req)
+				if rec.Code != http.StatusAccepted && rec.Code != http.StatusOK &&
+					rec.Code != http.StatusServiceUnavailable {
+					t.Errorf("POST = %d %s", rec.Code, rec.Body.String())
+					return
+				}
+				if (r+i)%2 == 0 && st.ID != "" {
+					// Cancel roughly half the jobs at staggered offsets so
+					// cancellations land while recordings are in flight.
+					time.Sleep(time.Duration(r+i) * 500 * time.Microsecond)
+					del := httptest.NewRequest("DELETE", "/v1/simulations/"+st.ID, nil)
+					h.ServeHTTP(httptest.NewRecorder(), del)
+				}
+			}(r, i, cfg)
+		}
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// A few tries: the first may join an in-flight job that a late
+		// DELETE from the storm is about to finalize as cancelled.
+		for attempt := 0; attempt < 5; attempt++ {
+			rec, st := postJSON(t, h, "/v1/simulations?wait=true", replayReq("bfs", "C2"))
+			if rec.Code == http.StatusOK && st.State == "done" && st.Result != nil {
+				return
+			}
+			if attempt == 4 {
+				t.Errorf("post-storm replay never completed: code %d state %q", rec.Code, st.State)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("post-storm replay hung: the shared recording entry is pinned")
 	}
 }
 

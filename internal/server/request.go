@@ -65,6 +65,14 @@ type SimulationRequest struct {
 	// default jobs keep their execution-driven, CLI-identical semantics
 	// and their historical cache keys.
 	Replay bool `json:"replay,omitempty"`
+	// Adaptive enables the C4 online reconfiguration controller on the
+	// named configuration's two-part L2 (execution-driven runs only).
+	// Off by default, so legacy requests keep their historical cache
+	// keys; naming the C4 configuration enables it without this knob.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// AdaptiveEpochCycles overrides the controller's sampling period
+	// (0 = the default epoch); only meaningful with Adaptive.
+	AdaptiveEpochCycles int64 `json:"adaptive_epoch_cycles,omitempty"`
 
 	// noForward pins execution to this node even when the consistent-
 	// hash ring places the job on a peer. Set for requests that arrive
@@ -109,6 +117,14 @@ func (r SimulationRequest) normalize() SimulationRequest {
 	if r.DRAMRowBytes == 2048 {
 		r.DRAMRowBytes = 0
 	}
+	// Adaptive knobs: the epoch override is only meaningful when the
+	// knob is on, and the default epoch spelled out collapses to the
+	// zero field, so pre-C4 requests keep their historical cache keys.
+	if !r.Adaptive {
+		r.AdaptiveEpochCycles = 0
+	} else if r.AdaptiveEpochCycles == config.DefaultAdaptiveEpochCycles {
+		r.AdaptiveEpochCycles = 0
+	}
 	r.TimeoutMS = 0
 	return r
 }
@@ -135,6 +151,12 @@ func (r SimulationRequest) gpuConfig() (config.GPUConfig, error) {
 	if r.DRAMRowBytes > 0 {
 		g.DRAM.RowBytes = r.DRAMRowBytes
 	}
+	if r.Adaptive {
+		g.Adaptive.Enabled = true
+		if r.AdaptiveEpochCycles > 0 {
+			g.Adaptive.EpochCycles = r.AdaptiveEpochCycles
+		}
+	}
 	if err := g.Validate(); err != nil {
 		return config.GPUConfig{}, err
 	}
@@ -153,8 +175,17 @@ func (r SimulationRequest) validate() error {
 	if r.DRAMBanks < 0 || r.DRAMRowBytes < 0 {
 		return fmt.Errorf("dram_banks and dram_row_bytes must be >= 0")
 	}
-	if _, err := r.gpuConfig(); err != nil {
+	if r.AdaptiveEpochCycles < 0 {
+		return fmt.Errorf("adaptive_epoch_cycles must be >= 0")
+	}
+	g, err := r.gpuConfig()
+	if err != nil {
 		return err
+	}
+	if r.Replay && g.Adaptive.Enabled {
+		// The controller rides the execution-driven event engine; a
+		// replay would silently run unadapted, so reject it instead.
+		return fmt.Errorf("replay does not support adaptive reconfiguration")
 	}
 	switch {
 	case r.Bench == "" && r.App == "":

@@ -28,6 +28,8 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"sttllc/internal/sim"
 )
 
 // maxSweepJobs bounds one sweep's grid; beyond it the request is
@@ -313,19 +315,34 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	// All-or-nothing admission: count the children that will need queue
-	// slots. Holding s.mu, workers can only drain the queue, so the free
-	// count cannot shrink under us.
+	// All-or-nothing admission: resolve every child to its answer — the
+	// in-flight job it will join, the terminal job in the memory LRU, or
+	// the verified dump read from the disk store — and count the rest,
+	// which are the cells that need queue slots. Resolution pins the
+	// object, not a hint: this pass used to trust store.has, an
+	// index-only check, so an entry evicted by a concurrently finishing
+	// worker's store write (store IO happens outside s.mu), a
+	// finished-LRU eviction triggered by the admission loop's own puts,
+	// or a file that turned out corrupt at read time could strand a
+	// counted-as-cached cell on the queue path after the free-slot check
+	// had passed, failing it with "queue full during admission". A
+	// pinned *job or dump cannot disappear while s.mu is held; workers
+	// can only drain the queue meanwhile, so the free count cannot
+	// shrink under us either.
+	resolved := make([]resolvedChild, len(children))
 	needed := 0
-	for _, cr := range children {
+	for i, cr := range children {
 		k := cr.Key()
-		if s.inflight[k] != nil {
+		if j := s.inflight[k]; j != nil {
+			resolved[i].job = j
 			continue
 		}
 		if j := s.finished.get(k); j != nil && j.state == jobDone {
+			resolved[i].job = j
 			continue
 		}
-		if s.store.has(k) {
+		if dump := s.store.get(k); dump != nil {
+			resolved[i].dump = dump
 			continue
 		}
 		needed++
@@ -351,7 +368,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.sweepsSubmitted.Add(1)
 	s.sweepChildrenN.Add(uint64(len(children)))
 	s.appendSweepEventLocked(sw, SweepEvent{Type: evSweepStarted})
-	for _, cr := range children {
+	for ci, cr := range children {
 		k := cr.Key()
 		if noForward {
 			cr.noForward = true
@@ -359,12 +376,13 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		child := &sweepChild{jobID: k, config: cr.Config, bench: cr.Bench, app: cr.App}
 		sw.children = append(sw.children, child)
 		sw.byJob[k] = child
-		j, adm := s.admitLocked(cr, k, true)
+		j, adm := s.admitResolvedLocked(cr, k, resolved[ci])
 		switch adm {
 		case admitQueueFull:
-			// Only reachable when a store entry counted by the dry pass
-			// turned out corrupt at read time; the cell fails rather than
-			// wedging the sweep.
+			// Defensive only: resolution pinned every cached answer and
+			// the free-slot check ran under this same lock hold, so a
+			// counted cell cannot lose its slot anymore. Fail the cell
+			// rather than wedge the sweep if that invariant ever breaks.
 			child.state = jobFailed
 			child.errMsg = "queue full during admission"
 			sw.failed++
@@ -401,6 +419,50 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, st)
+}
+
+// resolvedChild is one sweep cell's admission answer, pinned by the
+// counting pass so the commit loop cannot disagree with the slot
+// arithmetic. At most one field is set; both nil means the cell needs
+// a queue slot.
+type resolvedChild struct {
+	job  *job           // in-flight job to join, or done job from the memory LRU
+	dump *sim.StatsDump // dump read and verified from the disk store
+}
+
+// admitResolvedLocked turns a pinned resolution into the verdicts
+// admitLocked would give, without re-probing the caches: by commit
+// time the LRU or the store may have moved on, but the sweep was
+// already promised this answer when it passed admission control.
+// Unresolved cells fall through to the ordinary admission path.
+// Caller holds s.mu, continuously since the resolution pass — which
+// is why a pinned in-flight job is still in flight: workers finalize
+// under the same mutex.
+func (s *Server) admitResolvedLocked(req SimulationRequest, id string, rc resolvedChild) (*job, admission) {
+	switch {
+	case rc.job != nil && !rc.job.terminal():
+		s.dedupJoins.Add(1)
+		rc.job.asyncHold = true
+		return rc.job, admitJoined
+	case rc.job != nil:
+		// Done job from the memory LRU. Re-put so pollers can fetch it
+		// by ID even if an earlier cell's disk-path put evicted it.
+		s.cacheHits.Add(1)
+		s.finished.put(rc.job)
+		return rc.job, admitCachedMem
+	case rc.dump != nil:
+		// Disk-store hit, read and verified at resolution time; the LRU
+		// re-adopts it exactly as admitLocked's disk path would.
+		now := time.Now()
+		j := &job{
+			id: id, req: req, state: jobDone, dump: rc.dump,
+			done: make(chan struct{}), submitted: now, started: now, finished: now,
+		}
+		close(j.done)
+		s.finished.put(j)
+		return j, admitCachedDisk
+	}
+	return s.admitLocked(req, id, true)
 }
 
 // watchJobLocked subscribes sw to jobID's state changes. Caller holds

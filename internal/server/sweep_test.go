@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -504,6 +505,167 @@ func TestSweepConfigUnmarshalForms(t *testing.T) {
 	}
 	if len(children) != 2 || children[1].L3KB != 1536 {
 		t.Fatalf("expanded = %+v", children)
+	}
+}
+
+// TestSweepAdmissionPinsStoreReads is the deterministic repro for the
+// counted-slots race: the old dry pass trusted store.has, an index-only
+// hint, so a store entry that turned out unreadable at admission time
+// (corrupt file, or evicted by a concurrent worker's write) left a
+// counted-as-cached cell needing a queue slot the 429 check never
+// reserved. With a full queue that cell failed with "queue full during
+// admission" inside an admitted — supposedly all-or-nothing — sweep.
+// The fix resolves (reads and pins) every cached answer under the same
+// lock hold as the count, so the sweep now correctly bounces with 429.
+func TestSweepAdmissionPinsStoreReads(t *testing.T) {
+	dir := t.TempDir()
+
+	// Seed the store with one completed dump, then corrupt the file on
+	// disk after restart: the index still lists the entry (has == true)
+	// but any read quarantines it (get == nil).
+	seed := New(Config{Workers: 1, StoreDir: dir})
+	seed.runFn = func(_ context.Context, req SimulationRequest) (*sim.StatsDump, error) {
+		return &sim.StatsDump{Schema: sim.StatsSchema, Config: req.Config, Benchmark: req.Bench}, nil
+	}
+	if rec, _ := postJSON(t, seed.Handler(), "/v1/simulations?wait=true", tinyReq("bfs")); rec.Code != http.StatusOK {
+		t.Fatalf("seed run = %d", rec.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := seed.Shutdown(ctx); err != nil {
+		t.Fatalf("seed shutdown: %v", err)
+	}
+
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1, StoreDir: dir})
+	id := tinyReq("bfs").normalize().Key()
+	if !s.store.has(id) {
+		t.Fatal("seeded dump not indexed after restart")
+	}
+	if err := os.WriteFile(s.store.path(id), []byte("sttllc-store/v1 feedface\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the worker and the only queue slot, so free == 0.
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	s.runFn = blockingRun(started, release)
+	h := s.Handler()
+	postJSON(t, h, "/v1/simulations", tinyReq("kmeans"))
+	<-started
+	postJSON(t, h, "/v1/simulations", tinyReq("nw"))
+
+	// A one-cell sweep whose cell the index claims is cached: the
+	// read-time quarantine means it actually needs a slot, and none is
+	// free — the whole sweep must bounce, admitting nothing.
+	rec := doJSON(t, h, "POST", "/v1/sweeps", SweepRequest{
+		Configs: []SweepConfig{{Config: "C2"}},
+		Benches: []string{"bfs"},
+		Scale:   0.04, Warps: 6,
+	})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("sweep over a corrupt store entry = %d %s, want 429", rec.Code, rec.Body.String())
+	}
+	if n := counter(t, s, "server.sweeps_submitted_total"); n != 0 {
+		t.Errorf("sweeps_submitted_total = %d after rejection, want 0", n)
+	}
+	if n := counter(t, s, "server.store_quarantined_total"); n != 1 {
+		t.Errorf("store_quarantined_total = %d, want 1 (resolution must read, not guess)", n)
+	}
+
+	// Once slots free up, the same sweep is admitted and re-runs the
+	// lost cell instead of failing it (release is closed, so blockingRun
+	// now completes jobs immediately).
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for counter(t, s, "server.queue_depth") != 0 || counter(t, s, "server.jobs_running") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the queue to drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec = doJSON(t, h, "POST", "/v1/sweeps", SweepRequest{
+		Configs: []SweepConfig{{Config: "C2"}},
+		Benches: []string{"bfs"},
+		Scale:   0.04, Warps: 6,
+	})
+	if rec.Code != http.StatusAccepted && rec.Code != http.StatusOK {
+		t.Fatalf("retry sweep = %d %s", rec.Code, rec.Body.String())
+	}
+	st := waitSweep(t, h, decodeSweep(t, rec).ID)
+	if st.State != "done" || st.Done != 1 || st.Failed != 0 {
+		t.Fatalf("retry sweep = %+v, want 1/1 done", st)
+	}
+}
+
+// TestSweepAdmissionStormNoSpuriousFailures races sweep admission
+// against concurrent single submissions with a tiny finished LRU and a
+// tiny disk-store budget, so cache and store entries are constantly
+// evicted between any count and any commit. Under -race this also
+// checks the locking; functionally it asserts the all-or-nothing
+// promise — an admitted sweep never contains a child that failed with
+// "queue full during admission", and with a runFn that cannot fail,
+// every admitted sweep completes.
+func TestSweepAdmissionStormNoSpuriousFailures(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 4, CacheEntries: 2,
+		StoreDir: t.TempDir(), StoreBudget: 2 << 10, // a handful of entries: constant eviction
+	})
+	s.runFn = func(_ context.Context, req SimulationRequest) (*sim.StatsDump, error) {
+		time.Sleep(200 * time.Microsecond)
+		return &sim.StatsDump{Schema: sim.StatsSchema, Config: req.Config, Benchmark: req.Bench}, nil
+	}
+	h := s.Handler()
+
+	configs := []string{"C1", "C2", "C3"}
+	benches := []string{"bfs", "kmeans", "stencil", "nw"}
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				if w%2 == 0 {
+					// Singles churn the queue, the LRU, and the store from
+					// outside the sweep path.
+					r := tinyReq(benches[(w+i)%len(benches)])
+					r.Config = configs[i%len(configs)]
+					postJSON(t, h, "/v1/simulations?wait=true", r)
+					continue
+				}
+				rec := doJSON(t, h, "POST", "/v1/sweeps", SweepRequest{
+					Configs: []SweepConfig{{Config: configs[(w+i)%3]}, {Config: configs[(w+i+1)%3]}},
+					Benches: []string{benches[i%4], benches[(i+1)%4]},
+					Scale:   0.04, Warps: 6,
+				})
+				switch rec.Code {
+				case http.StatusAccepted, http.StatusOK:
+					if id := decodeSweep(t, rec).ID; id != "" {
+						mu.Lock()
+						seen[id] = true
+						mu.Unlock()
+					}
+				case http.StatusTooManyRequests:
+					// Whole-sweep rejection is the correct overload answer.
+				default:
+					t.Errorf("sweep POST = %d %s", rec.Code, rec.Body.String())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for id := range seen {
+		st := waitSweep(t, h, id)
+		if st.State != "done" {
+			t.Errorf("admitted sweep %s ended %q (%d done, %d failed): %+v", id, st.State, st.Done, st.Failed, st)
+		}
+		for _, jb := range st.Jobs {
+			if jb.Error == "queue full during admission" {
+				t.Errorf("sweep %s child %s lost its counted slot", id, jb.JobID)
+			}
+		}
 	}
 }
 

@@ -105,6 +105,7 @@ func seedWarmup(s *Simulator) int64 {
 	}
 	for _, b := range s.banks {
 		b.ResetStats()
+		b.RebaseRewriteClock(now)
 	}
 	return now
 }

@@ -93,13 +93,27 @@ func (c *RecordingCache) Get(ctx context.Context, cfg config.GPUConfig, spec wor
 		c.evictLocked()
 		c.mu.Unlock()
 
+		// Leader: run the recording. The release below is deferred so a
+		// panicking run (simulations panic on invariant violations, and
+		// callers like the server recover above this frame) still
+		// removes the entry and closes ready — otherwise the entry stays
+		// pinned forever and every later Get for this key blocks until
+		// its own context cancels. Failed entries are poisoned (err set)
+		// before the close so waiters retry instead of sharing garbage.
+		finished := false
+		defer func() {
+			if !finished && e.err == nil {
+				e.err = fmt.Errorf("sim: recording run for key %s aborted", key)
+			}
+			if e.err != nil {
+				c.mu.Lock()
+				c.removeLocked(key)
+				c.mu.Unlock()
+			}
+			close(e.ready)
+		}()
 		e.res, e.rec, e.err = RecordContext(ctx, cfg, spec, opts)
-		if e.err != nil {
-			c.mu.Lock()
-			c.removeLocked(key)
-			c.mu.Unlock()
-		}
-		close(e.ready)
+		finished = true
 		return e.res, e.rec, false, e.err
 	}
 }

@@ -2,10 +2,13 @@ package sim
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"sttllc/internal/config"
+	"sttllc/internal/trace"
 )
 
 func TestRecordingKeyCoversContent(t *testing.T) {
@@ -99,6 +102,92 @@ func TestRecordingCacheBounded(t *testing.T) {
 	// The evicted key re-records rather than failing.
 	if _, rec, _, err := c.Get(ctx, config.C1(), spec, Options{}); err != nil || rec == nil {
 		t.Errorf("re-get after eviction: rec=%v err=%v", rec, err)
+	}
+}
+
+// TestRecordingCacheCancelHammer hammers one key from many goroutines
+// whose contexts cancel at arbitrary points — leaders cancelled
+// mid-recording, waiters abandoned mid-wait. Run under -race this
+// exercises the leader's release path; the post-storm assertion proves
+// no cancellation sequence can leave the entry pinned (a pinned entry
+// would make the final Get block forever).
+func TestRecordingCacheCancelHammer(t *testing.T) {
+	c := NewRecordingCache(4)
+	spec := sweepSpec()
+	const callers = 24
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if g%3 != 0 {
+				delay := time.Duration(rand.Intn(2000)) * time.Microsecond
+				timer := time.AfterFunc(delay, cancel)
+				defer timer.Stop()
+			}
+			_, rec, _, err := c.Get(ctx, config.C1(), spec, Options{})
+			if err == nil && rec == nil {
+				t.Error("nil recording with nil error")
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	var rec *trace.Recording
+	var err error
+	go func() {
+		defer close(done)
+		_, rec, _, err = c.Get(context.Background(), config.C1(), spec, Options{})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("post-storm Get deadlocked: cancellation left the cache entry pinned")
+	}
+	if err != nil || rec == nil {
+		t.Fatalf("post-storm Get: rec=%v err=%v", rec != nil, err)
+	}
+}
+
+// TestRecordingCacheReleasesOnPanic pins the leader-panic path: a
+// recording run that panics (simulations panic on invariant violations;
+// the server recovers them above this frame) must still remove the
+// entry and close the ready channel. Before the fix the entry stayed in
+// the map with a never-closed channel, so every later Get for the key
+// blocked forever.
+func TestRecordingCacheReleasesOnPanic(t *testing.T) {
+	c := NewRecordingCache(4)
+	bad := config.C1()
+	bad.ClockHz = 0 // constructor panics on a non-positive clock
+	spec := sweepSpec()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the recording run to panic")
+			}
+		}()
+		c.Get(context.Background(), bad, spec, Options{})
+	}()
+	if c.Len() != 0 {
+		t.Fatalf("panicked recording left %d pinned entries", c.Len())
+	}
+
+	// A follow-up Get must become a fresh leader (and panic in turn,
+	// proving it actually ran) rather than block on the dead entry.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		c.Get(context.Background(), bad, spec, Options{})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Get after a leader panic deadlocked on the pinned entry")
 	}
 }
 

@@ -162,6 +162,7 @@ func (rep *replayer) warmupReset(boundary int64) {
 	rep.advanceTo(boundary - 1)
 	for _, b := range rep.s.flat {
 		b.ResetStats()
+		b.RebaseRewriteClock(boundary)
 	}
 }
 

@@ -113,6 +113,10 @@ type Simulator struct {
 	// and mLat are live handles even when it is disabled.
 	reg    *metrics.Registry
 	tracer *metrics.Tracer
+	// adapt is the C4 online reconfiguration controller (see
+	// adaptive.go); nil unless cfg.Adaptive.Enabled, so static
+	// configurations schedule no epoch events and run unchanged.
+	adapt *adaptiveController
 	mReq   metrics.Counter
 	mLat   *metrics.Histogram
 	// Engine lifetime totals, accumulated across drive calls (RunApp
@@ -178,6 +182,9 @@ func New(cfg config.GPUConfig, spec workloads.Spec, opts Options) *Simulator {
 		s.resident = gpu.ResidentWarps(s.cfg.SM, spec.RegsPerThread, spec.ThreadsPerBlock)
 	}
 	s.registerMetrics()
+	if cfg.Adaptive.Enabled {
+		s.adapt = newAdaptiveController(s)
+	}
 	return s
 }
 
@@ -433,6 +440,18 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			timers.Schedule(start+p, tick)
 		}
 	}
+	if s.adapt != nil {
+		// The C4 epoch event rides the timer timeline like the bank
+		// ticks: one self-rearming event per epoch, so the per-cycle and
+		// per-access hot paths never see the controller.
+		ep := s.adapt.spec.EpochCycles
+		var epoch engine.Func
+		epoch = func(at int64) {
+			s.adapt.epoch(at)
+			timers.Schedule(at+ep, epoch)
+		}
+		timers.Schedule(start+ep, epoch)
+	}
 	// pollSched/pollFired count the cancellation poll's own events so
 	// they can be subtracted from the engine totals below: the poll is
 	// scaffolding, and a cancellable run that completes must publish
@@ -510,6 +529,10 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 			}
 			for _, b := range s.flat {
 				b.ResetStats()
+				b.RebaseRewriteClock(now)
+			}
+			if s.adapt != nil {
+				s.adapt.rebase()
 			}
 			for _, a := range actors {
 				a.lastSeq = seq - 1
@@ -630,6 +653,10 @@ func (s *Simulator) drive(start int64, warmupBudget uint64) (boundary, end int64
 		}
 		for _, b := range s.flat {
 			b.ResetStats()
+			b.RebaseRewriteClock(now)
+		}
+		if s.adapt != nil {
+			s.adapt.rebase()
 		}
 		for _, a := range actors {
 			a.lastSeq = seq - 1
@@ -809,6 +836,10 @@ func mergeBankStats(dst, src *core.BankStats) {
 	dst.OverflowWritebacks += src.OverflowWritebacks
 	dst.DRAMFills += src.DRAMFills
 	dst.DRAMWritebacks += src.DRAMWritebacks
+	dst.ReconfigThreshold += src.ReconfigThreshold
+	dst.ReconfigLRResize += src.ReconfigLRResize
+	dst.ReconfigRetention += src.ReconfigRetention
+	dst.ReconfigDemotions += src.ReconfigDemotions
 	if src.RewriteIntervals != nil {
 		for i, c := range src.RewriteIntervals.Counts {
 			dst.RewriteIntervals.Counts[i] += c
