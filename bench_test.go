@@ -6,13 +6,17 @@ package sttllc
 // cmd/sttexp tool for full-scale numbers.
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"sttllc/internal/config"
 	"sttllc/internal/experiments"
+	"sttllc/internal/ingest"
 	"sttllc/internal/sim"
 	"sttllc/internal/sttram"
 	"sttllc/internal/workloads"
+	"sttllc/internal/workloads/gen"
 )
 
 // benchParams keeps per-iteration work small: three representative
@@ -230,6 +234,74 @@ func BenchmarkSimulatorThroughputAdaptive(b *testing.B) {
 		instrs += r.Instructions
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// benchNDJSON synthesizes an sttllc-trace/v1 NDJSON stream of the given
+// length, the external format POST /v1/traces and stttrace -import
+// accept. Deterministic so every iteration parses identical bytes.
+func benchNDJSON(records int) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "{\"format\":\"sttllc-trace/v1\",\"workload\":\"bench\",\"line_bytes\":256,\"sms\":15,\"end_cycle\":%d}\n", records*2)
+	for i := 0; i < records; i++ {
+		op := "R"
+		if i%3 == 0 {
+			op = "W"
+		}
+		fmt.Fprintf(&buf, "{\"cycle\":%d,\"addr\":%d,\"op\":%q,\"sm\":%d}\n",
+			i*2, (i*2933)%(1<<20)*256, op, i%15)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkTraceImportNDJSON measures ingestion throughput of the
+// external NDJSON trace format: parse, validate, delta-encode, and
+// content-hash 10k access records — the full cost of one upload.
+func BenchmarkTraceImportNDJSON(b *testing.B) {
+	const records = 10000
+	blob := benchNDJSON(records)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := ingest.Import(bytes.NewReader(blob), ingest.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Records) != records {
+			b.Fatalf("imported %d records, want %d", len(rec.Records), records)
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkWorkloadGenFamily measures the parametric generator: draw a
+// 32-member family (sample every distribution, derive kernels, content-
+// hash each member) — the per-request cost of a gen-spec sweep.
+func BenchmarkWorkloadGenFamily(b *testing.B) {
+	instr, warps := 200.0, 4.0
+	family := gen.FamilySpec{
+		AppSpec: gen.AppSpec{
+			Name:         "bench",
+			Seed:         42,
+			Kernels:      gen.Dist{Min: 1, Max: 4},
+			MemFrac:      gen.Dist{Min: 0.1, Max: 0.5},
+			WriteFrac:    gen.Dist{Min: 0, Max: 0.6},
+			FootprintKB:  gen.Dist{Min: 256, Max: 4096, Log: true},
+			InstrPerWarp: gen.Dist{Fixed: &instr},
+			WarpsPerSM:   gen.Dist{Fixed: &warps},
+		},
+		Count: 32,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apps, err := family.Apps()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(apps) != 32 {
+			b.Fatalf("drew %d members, want 32", len(apps))
+		}
+	}
+	b.ReportMetric(32*float64(b.N)/b.Elapsed().Seconds(), "apps/s")
 }
 
 func BenchmarkWearLeveling(b *testing.B) {

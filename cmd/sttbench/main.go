@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,11 +26,13 @@ import (
 
 	"sttllc/internal/config"
 	"sttllc/internal/experiments"
+	"sttllc/internal/ingest"
 	"sttllc/internal/metrics"
 	"sttllc/internal/sim"
 	"sttllc/internal/sttram"
 	"sttllc/internal/trace"
 	"sttllc/internal/workloads"
+	"sttllc/internal/workloads/gen"
 )
 
 // benchParams mirrors bench_test.go: reduced scale, short warps.
@@ -122,6 +125,65 @@ func suite() []struct {
 			sim.RunOne(config.C4(), spec, sim.Options{})
 		}},
 		{"WearLeveling", func() { experiments.WearLeveling(benchParams("bfs")) }},
+		// Ingestion rows (BENCH_ingest.json): the per-upload cost of the
+		// external-trace path and the per-request cost of drawing a
+		// generated family — both mirror bench_test.go exactly.
+		{"TraceImportNDJSON", func() {
+			rec, err := ingest.Import(bytes.NewReader(ingestBlob()), ingest.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			if len(rec.Records) != ingestRecords {
+				fatal(fmt.Errorf("imported %d records, want %d", len(rec.Records), ingestRecords))
+			}
+		}},
+		{"WorkloadGenFamily", func() {
+			apps, err := genFamily().Apps()
+			if err != nil {
+				fatal(err)
+			}
+			if len(apps) != 32 {
+				fatal(fmt.Errorf("drew %d members, want 32", len(apps)))
+			}
+		}},
+	}
+}
+
+// ingestRecords sizes the NDJSON import row; ingestBlob synthesizes the
+// stream once (the blob is identical across iterations, like a repeated
+// upload of the same file).
+const ingestRecords = 10000
+
+var ingestBlob = sync.OnceValue(func() []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "{\"format\":\"sttllc-trace/v1\",\"workload\":\"bench\",\"line_bytes\":256,\"sms\":15,\"end_cycle\":%d}\n", ingestRecords*2)
+	for i := 0; i < ingestRecords; i++ {
+		op := "R"
+		if i%3 == 0 {
+			op = "W"
+		}
+		fmt.Fprintf(&buf, "{\"cycle\":%d,\"addr\":%d,\"op\":%q,\"sm\":%d}\n",
+			i*2, (i*2933)%(1<<20)*256, op, i%15)
+	}
+	return buf.Bytes()
+})
+
+// genFamily is the 32-member parametric family the generator row draws:
+// every distribution kind exercised (uniform, log-uniform, fixed).
+func genFamily() gen.FamilySpec {
+	instr, warps := 200.0, 4.0
+	return gen.FamilySpec{
+		AppSpec: gen.AppSpec{
+			Name:         "bench",
+			Seed:         42,
+			Kernels:      gen.Dist{Min: 1, Max: 4},
+			MemFrac:      gen.Dist{Min: 0.1, Max: 0.5},
+			WriteFrac:    gen.Dist{Min: 0, Max: 0.6},
+			FootprintKB:  gen.Dist{Min: 256, Max: 4096, Log: true},
+			InstrPerWarp: gen.Dist{Fixed: &instr},
+			WarpsPerSM:   gen.Dist{Fixed: &warps},
+		},
+		Count: 32,
 	}
 }
 

@@ -9,9 +9,15 @@
 //	sttexp -exp fig3,fig6 -bench bfs,stencil
 //	sttexp -exp fig4,fig5 -replaysweeps        # record once, replay K-1 variants
 //	sttexp -exp fig4 -replay bfs.rec           # drive the sweep from a recording
+//	sttexp -exp gen -gen '{"name":"mix","seed":7,"count":4}'   # generated family
 //
 // Experiments: table1 table2 fig3 fig4 fig5 fig6 fig8 ablation area
-// Extensions: power retention lrsize reliability wear adaptive runs
+// Extensions: power retention lrsize reliability wear adaptive runs gen
+//
+// "gen" sweeps a parametric workload family (internal/workloads/gen)
+// across configurations: -gen takes a gen.FamilySpec as inline JSON or
+// @file, -genconfigs picks the configuration set. Members are
+// deterministic draws, so the sweep reproduces from the spec alone.
 //
 // -replaysweeps accelerates the bank-variant sweeps (fig4, fig5): each
 // workload is simulated once and its recorded L2 stream is replayed
@@ -41,6 +47,7 @@ import (
 	"sttllc/internal/plot"
 	"sttllc/internal/sttram"
 	"sttllc/internal/trace"
+	"sttllc/internal/workloads/gen"
 )
 
 // fig8Chart renders one Figure 8 metric as grouped ASCII bars.
@@ -61,7 +68,7 @@ func fig8Chart(title string, res experiments.Fig8Result, pick func(experiments.F
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments (table1,table2,fig3..fig8,ablation,area,power,retention,lrsize,reliability,wear,adaptive,runs,all)")
+		exp     = flag.String("exp", "all", "comma-separated experiments (table1,table2,fig3..fig8,ablation,area,power,retention,lrsize,reliability,wear,adaptive,runs,gen,all)")
 		scale   = flag.Float64("scale", 1.0, "scale per-warp instruction counts")
 		warps   = flag.Int("warps", 0, "override warp jobs per SM (0 = benchmark default)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
@@ -72,6 +79,8 @@ func main() {
 		withL3  = flag.Bool("l3", false, "include the stacked-L3 configurations (C1-L3, C2-L3) in the runs sweep")
 		replayS = flag.Bool("replaysweeps", false, "accelerate fig4/fig5 bank sweeps: record each workload once, replay the variants")
 		replayF = flag.String("replay", "", "drive fig4/fig5/fig6 from a recording file instead of simulating (see sttsim -record)")
+		genSpec = flag.String("gen", "", "gen.FamilySpec JSON (inline, or @file) for the 'gen' experiment")
+		genCfgs = flag.String("genconfigs", "", "comma-separated configurations for the 'gen' experiment (default: the Fig. 8 set)")
 	)
 	flag.Parse()
 
@@ -250,6 +259,42 @@ func main() {
 		data("adaptive", rows)
 		text(experiments.FormatAdaptivePolicySweep(rows))
 	})
+	if *genSpec != "" || want["gen"] {
+		run("gen", func() {
+			if *genSpec == "" {
+				fmt.Fprintln(os.Stderr, "sttexp: -exp gen requires -gen '<family spec JSON>' (or -gen @spec.json)")
+				os.Exit(2)
+			}
+			raw := []byte(*genSpec)
+			if strings.HasPrefix(*genSpec, "@") {
+				var err error
+				raw, err = os.ReadFile((*genSpec)[1:])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sttexp: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			var fam gen.FamilySpec
+			if err := json.Unmarshal(raw, &fam); err != nil {
+				fmt.Fprintf(os.Stderr, "sttexp: parsing -gen: %v\n", err)
+				os.Exit(1)
+			}
+			if fam.Count == 0 {
+				fam.Count = 1
+			}
+			var names []string
+			if *genCfgs != "" {
+				names = strings.Split(*genCfgs, ",")
+			}
+			rows, err := experiments.GeneratedSweep(p, fam, names)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sttexp: gen sweep: %v\n", err)
+				os.Exit(1)
+			}
+			data("gen", rows)
+			text(experiments.FormatGeneratedSweep(rows))
+		})
+	}
 	run("runs", func() {
 		var names []string
 		if *withL3 {

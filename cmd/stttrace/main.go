@@ -14,11 +14,17 @@
 //	stttrace -replay trace.bin -config C2
 //	stttrace -replay trace.bin -config C1,C2,C3       # one pass, K configs
 //	stttrace -replay trace.bin -config C2 -stats-json -
+//	stttrace -import app.log -o app.rec [-workload name] [-fold-sm]
 //
 // Recordings are written in the v2 format (workload identity, warmup
 // boundary, kernel phases); -replay also accepts bare v1 streams.
 // Naming several comma-separated configurations replays the stream into
 // all of them in a single pass (sim.ReplayMany).
+//
+// -import converts an external trace — sttllc-trace/v1 NDJSON, a
+// GPGPU-Sim/Accel-Sim-style access log, or an existing binary stream;
+// the syntax is auto-detected — into a v2 recording, content-addressed
+// so the service and the replay caches deduplicate it for free.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"sttllc/internal/config"
 	"sttllc/internal/experiments"
 	"sttllc/internal/gpu"
+	"sttllc/internal/ingest"
 	"sttllc/internal/sim"
 	"sttllc/internal/trace"
 	"sttllc/internal/workloads"
@@ -47,11 +54,21 @@ func main() {
 		cfgName   = flag.String("config", "C1", "configuration for -record/-replay")
 		suite     = flag.Bool("suite", false, "print the parameter table of the whole benchmark suite")
 		statsOut  = flag.String("stats-json", "", "with -replay: write the sttllc-stats/v1 dump to this file ('-' = stdout)")
+
+		importPath = flag.String("import", "", "convert an external trace (NDJSON, GPGPU-Sim log, or binary; auto-detected) to a v2 recording")
+		outPath    = flag.String("o", "", "with -import: output recording path (default: input with .rec appended)")
+		workload   = flag.String("workload", "", "with -import: workload label for the recording (default \"imported\")")
+		foldSM     = flag.Bool("fold-sm", false, "with -import: fold out-of-range SM ids modulo the SM count instead of rejecting them")
 	)
 	flag.Parse()
 
 	if *suite {
 		printSuite()
+		return
+	}
+
+	if *importPath != "" {
+		importTrace(*importPath, *outPath, *workload, *foldSM)
 		return
 	}
 
@@ -183,6 +200,40 @@ func recordTrace(spec workloads.Spec, cfgName, path string) {
 	}
 	fmt.Printf("recorded %d L2 accesses over %d cycles (%s on %s) to %s\n",
 		len(rec.Records), r.Cycles, spec.Name, cfg.Name, path)
+}
+
+// importTrace converts an external trace into a v2 recording. The
+// importer auto-detects the syntax, validates every record against the
+// configured address space, and content-addresses the result, so the
+// written recording drops straight into -replay, the recording caches,
+// and the service's trace registry.
+func importTrace(in, out, workload string, foldSM bool) {
+	if out == "" {
+		out = in + ".rec"
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rec, err := ingest.Import(f, ingest.Options{Workload: workload, FoldSM: foldSM})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: import: %v\n", err)
+		os.Exit(1)
+	}
+	o, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
+	if err := trace.WriteRecording(o, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "stttrace: writing recording: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("imported %d L2 accesses, %d phases, end cycle %d (workload %q, id %s) to %s\n",
+		len(rec.Records), len(rec.Phases), rec.EndCycle, rec.Workload, rec.WorkloadHash, out)
 }
 
 // resolveConfigs parses the -config value: one name, or a

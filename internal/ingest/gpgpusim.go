@@ -1,0 +1,198 @@
+// GPGPU-Sim/Accel-Sim-style access-log importer. These simulators (and
+// the ad-hoc printf instrumentation people bolt onto them) emit
+// whitespace-separated memory traces; this parser accepts the common
+// shape:
+//
+//	# comments and blank lines are skipped
+//	kernel <name> [cycle]            # kernel launch marker
+//	<cycle> <sm> <op> <addr> [size]  # one memory reference
+//
+// where <op> is R/W (also LD/ST, READ/WRITE, case-insensitive), <addr>
+// is hex (with or without 0x) or decimal, and the optional <size> in
+// bytes expands the reference into line-granular records exactly like
+// the NDJSON parser's sized accesses. Cycles must be non-decreasing —
+// the order any single-stream log has.
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sttllc/internal/config"
+	"sttllc/internal/trace"
+)
+
+// ParseGPGPUSim converts a GPGPU-Sim-style access log into a recording.
+// opts bounds and labels the import exactly as Import does; the
+// returned recording's WorkloadHash is left empty (Import fills it).
+func ParseGPGPUSim(r io.Reader, opts Options) (*trace.Recording, error) {
+	opts = opts.withDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	var (
+		records []trace.Record
+		phases  []trace.Phase
+		lineNo  int
+		last    int64
+	)
+	fail := func(err error) error {
+		return &Error{Line: lineNo, Record: len(records), Err: err}
+	}
+	lb := uint64(opts.LineBytes)
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if strings.EqualFold(fields[0], "kernel") {
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fail(fmt.Errorf("kernel marker wants `kernel <name> [cycle]`, got %d fields", len(fields)))
+			}
+			cycle := last
+			if len(fields) == 3 {
+				c, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return nil, fail(fmt.Errorf("kernel cycle %q: %v", fields[2], err))
+				}
+				cycle = c
+			}
+			if cycle < last {
+				return nil, fail(fmt.Errorf("kernel %q at cycle %d before stream cycle %d", fields[1], cycle, last))
+			}
+			phases = append(phases, trace.Phase{Name: fields[1], Index: len(records), Cycle: cycle})
+			continue
+		}
+		if len(fields) < 4 || len(fields) > 5 {
+			return nil, fail(fmt.Errorf("access wants `<cycle> <sm> <op> <addr> [size]`, got %d fields", len(fields)))
+		}
+		cycle, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || cycle < 0 {
+			return nil, fail(fmt.Errorf("cycle %q: not a non-negative integer", fields[0]))
+		}
+		if cycle < last {
+			return nil, fail(fmt.Errorf("cycle %d before previous %d", cycle, last))
+		}
+		sm, err := strconv.Atoi(fields[1])
+		if err != nil || sm < 0 {
+			return nil, fail(fmt.Errorf("sm %q: not a non-negative integer", fields[1]))
+		}
+		if sm >= opts.SMCount {
+			if !opts.FoldSM {
+				return nil, fail(fmt.Errorf("sm %d outside 0..%d (set FoldSM to fold modulo the SM count)", sm, opts.SMCount-1))
+			}
+			sm %= opts.SMCount
+		}
+		var write bool
+		switch strings.ToUpper(fields[2]) {
+		case "R", "LD", "READ":
+			write = false
+		case "W", "ST", "WRITE":
+			write = true
+		default:
+			return nil, fail(fmt.Errorf("op %q is not R/W/LD/ST", fields[2]))
+		}
+		addr, err := parseAddr(fields[3])
+		if err != nil {
+			return nil, fail(err)
+		}
+		size := lb
+		if len(fields) == 5 {
+			size, err = strconv.ParseUint(fields[4], 10, 64)
+			if err != nil || size == 0 || size > maxAccessBytes {
+				return nil, fail(fmt.Errorf("size %q outside 1..%d", fields[4], maxAccessBytes))
+			}
+		}
+		if addr+size < addr {
+			return nil, fail(fmt.Errorf("access at %#x of %d bytes overflows the address space", addr, size))
+		}
+		first := addr &^ (lb - 1)
+		lastLine := (addr + size - 1) &^ (lb - 1)
+		for a := first; ; a += lb {
+			records = append(records, trace.Record{Cycle: cycle, Addr: a, SM: uint8(sm), Write: write})
+			if a == lastLine {
+				break
+			}
+		}
+		last = cycle
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fail(err)
+	}
+	rec := &trace.Recording{
+		Workload: opts.Workload,
+		Config:   opts.Config,
+		Phases:   phases,
+		Records:  records,
+	}
+	if len(records) > 0 {
+		rec.EndCycle = records[len(records)-1].Cycle
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, fail(err)
+	}
+	return rec, nil
+}
+
+// parseAddr accepts 0x-prefixed hex, bare hex with a letter digit, or
+// decimal.
+func parseAddr(s string) (uint64, error) {
+	ls := strings.ToLower(s)
+	if rest, ok := strings.CutPrefix(ls, "0x"); ok {
+		v, err := strconv.ParseUint(rest, 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("address %q: %v", s, err)
+		}
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(ls, 10, 64); err == nil {
+		return v, nil
+	}
+	v, err := strconv.ParseUint(ls, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("address %q: %v", s, err)
+	}
+	return v, nil
+}
+
+// Options shapes an import: the identity stamped onto the recording and
+// the bounds applied to the stream.
+type Options struct {
+	// Workload names the recording (default "imported"); Config labels
+	// the configuration the trace claims to come from (default
+	// "imported" — imported traces were not recorded by this simulator,
+	// so no native configuration name applies).
+	Workload string
+	Config   string
+	// LineBytes is the cache-line granularity sized accesses expand at
+	// (default config.BaseLineBytes). Must be a power of two.
+	LineBytes int
+	// SMCount bounds SM ids (default config.BaseSMs). Replaying an
+	// out-of-range SM id panics in the interconnect, so imports reject
+	// them up front.
+	SMCount int
+	// FoldSM folds out-of-range SM ids modulo SMCount instead of
+	// rejecting them — for traces captured on GPUs with more SMs than
+	// the simulated machine.
+	FoldSM bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workload == "" {
+		o.Workload = "imported"
+	}
+	if o.Config == "" {
+		o.Config = "imported"
+	}
+	if o.LineBytes == 0 {
+		o.LineBytes = config.BaseLineBytes
+	}
+	if o.SMCount == 0 {
+		o.SMCount = config.BaseSMs
+	}
+	return o
+}

@@ -1,0 +1,148 @@
+// Auto-detecting import front end: one entry point that accepts any of
+// the three trace syntaxes and produces a validated, content-addressed
+// trace.Recording. The content address uses the workloads hash scheme
+// under the ingest format tag, so imported traces dedup and cache
+// through sim.RecordingCache and the service disk store exactly like
+// builtin workloads — and can never alias one, even with a colliding
+// name.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"sttllc/internal/trace"
+	"sttllc/internal/workloads"
+)
+
+// Import reads a trace in any supported syntax — native binary
+// recording (magic "STTT"), sttllc-trace/v1 NDJSON (first byte '{'), or
+// GPGPU-Sim-style access log (anything else) — validates it, applies
+// opts' bounds, and returns a recording whose WorkloadHash is its
+// content address.
+func Import(r io.Reader, opts Options) (*trace.Recording, error) {
+	opts = opts.withDefaults()
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	var rec *trace.Recording
+	switch {
+	case len(head) == 4 && bytes.Equal(head, []byte("STTT")):
+		rec, err = trace.ReadRecording(br)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Workload == "" {
+			rec.Workload = opts.Workload
+		}
+		if err := boundSMs(rec, opts); err != nil {
+			return nil, err
+		}
+	case len(head) > 0 && firstNonSpace(head) == '{':
+		rec, err = ParseNDJSON(br)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		rec, err = ParseGPGPUSim(br, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rec.WorkloadHash = HashRecording(rec)
+	return rec, nil
+}
+
+// firstNonSpace returns the first byte that is not JSON whitespace (the
+// peeked prefix is at most 4 bytes, so a leading run of spaces longer
+// than that falls through to the log parser, which will reject it with
+// a line number).
+func firstNonSpace(b []byte) byte {
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return c
+	}
+	return 0
+}
+
+// boundSMs applies the SM bound to a native recording (the text parsers
+// bound during decode). Replaying an out-of-range SM id panics in the
+// interconnect, so the import is the last safe place to catch it.
+func boundSMs(rec *trace.Recording, opts Options) error {
+	for i := range rec.Records {
+		sm := int(rec.Records[i].SM)
+		if sm < opts.SMCount {
+			continue
+		}
+		if !opts.FoldSM {
+			return &Error{Record: i, Err: fmt.Errorf("sm %d outside 0..%d (set FoldSM to fold modulo the SM count)", sm, opts.SMCount-1)}
+		}
+		rec.Records[i].SM = uint8(sm % opts.SMCount)
+	}
+	return nil
+}
+
+// hashedMeta is the metadata that participates in a recording's content
+// address. WorkloadHash itself is excluded (it is the output), and the
+// record stream enters as a digest of its canonical binary encoding
+// rather than as JSON, so hashing stays cheap for multi-million-record
+// traces.
+type hashedMeta struct {
+	Workload     string        `json:"workload,omitempty"`
+	Config       string        `json:"config,omitempty"`
+	EndCycle     int64         `json:"end_cycle,omitempty"`
+	WarmupIndex  int           `json:"warmup_index,omitempty"`
+	WarmupCycle  int64         `json:"warmup_cycle,omitempty"`
+	Phases       []trace.Phase `json:"phases,omitempty"`
+	RecordCount  int           `json:"record_count"`
+	RecordDigest string        `json:"record_digest"`
+}
+
+// HashRecording returns the recording's content address: the workloads
+// content-hash scheme under the "sttllc-trace/v1" domain tag, over the
+// replay-relevant metadata plus a digest of the record stream. Two
+// imports of the same trace — regardless of source syntax — hash equal,
+// which is what gives uploads free dedup through the recording cache
+// and the disk store; the domain tag guarantees the address can never
+// collide with a builtin Spec or App hash.
+func HashRecording(rec *trace.Recording) string {
+	h := sha256.New()
+	var buf [3*binary.MaxVarintLen64 + 2]byte
+	prev := int64(0)
+	for _, r := range rec.Records {
+		// The writer's delta encoding, reused as the canonical record
+		// serialization (without buffering a full trace file).
+		n := binary.PutUvarint(buf[:], uint64(r.Cycle-prev))
+		n += binary.PutUvarint(buf[n:], r.Addr)
+		buf[n] = r.SM
+		n++
+		flags := byte(0)
+		if r.Write {
+			flags = 1
+		}
+		buf[n] = flags
+		n++
+		h.Write(buf[:n])
+		prev = r.Cycle
+	}
+	return workloads.ContentHash(FormatName, hashedMeta{
+		Workload:     rec.Workload,
+		Config:       rec.Config,
+		EndCycle:     rec.EndCycle,
+		WarmupIndex:  rec.WarmupIndex,
+		WarmupCycle:  rec.WarmupCycle,
+		Phases:       rec.Phases,
+		RecordCount:  len(rec.Records),
+		RecordDigest: hex.EncodeToString(h.Sum(nil)),
+	})
+}

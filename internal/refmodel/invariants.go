@@ -86,7 +86,7 @@ func checkUniform(b *core.UniformBank, now int64) error {
 		"LRExpiryDrops": s.LRExpiryDrops, "HRExpiries": s.HRExpiries,
 		"OverflowWritebacks": s.OverflowWritebacks,
 		"ThresholdRaises":    s.ThresholdRaises, "ThresholdLowers": s.ThresholdLowers,
-		"ReconfigThreshold":  s.ReconfigThreshold, "ReconfigLRResize": s.ReconfigLRResize,
+		"ReconfigThreshold": s.ReconfigThreshold, "ReconfigLRResize": s.ReconfigLRResize,
 		"ReconfigRetention": s.ReconfigRetention, "ReconfigDemotions": s.ReconfigDemotions,
 	} {
 		if v != 0 {

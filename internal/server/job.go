@@ -91,11 +91,18 @@ func (r SimulationRequest) benchSpec() workloads.Spec {
 	return spec
 }
 
-// runSimulation dispatches one job: replay jobs ride the shared
-// recording cache, everything else runs the execution-driven path.
+// runSimulation dispatches one job: trace jobs replay an uploaded
+// recording, replay jobs ride the shared recording cache, and
+// everything else — catalog workloads and generated specs alike — runs
+// the execution-driven path.
 func (s *Server) runSimulation(ctx context.Context, req SimulationRequest) (*sim.StatsDump, error) {
-	if req.Replay {
+	switch {
+	case req.Trace != "":
+		return s.runTrace(req)
+	case req.Replay:
 		return s.runReplay(ctx, req)
+	case req.Gen != nil:
+		s.genJobs.Add(1)
 	}
 	return runSimulation(ctx, req)
 }
@@ -122,6 +129,25 @@ func (s *Server) runReplay(ctx context.Context, req SimulationRequest) (*sim.Sta
 	return &d, nil
 }
 
+// resolveApp materializes a request's application: the named catalog
+// entry, or a fresh deterministic draw from the inline generator spec.
+// Both sources were validated before enqueue, so failure here is a
+// server bug.
+func (r SimulationRequest) resolveApp() workloads.App {
+	if r.Gen != nil {
+		app, err := r.Gen.App()
+		if err != nil {
+			panic("server: job with invalid generator spec: " + err.Error())
+		}
+		return app
+	}
+	app, ok := workloads.AppByName(r.App)
+	if !ok {
+		panic("server: job with unknown application " + r.App)
+	}
+	return app
+}
+
 // runSimulation executes one request exactly the way cmd/sttsim does —
 // same spec scaling, same option wiring, an enabled metrics registry —
 // so the resulting StatsDump is byte-identical to `sttsim -stats-json`
@@ -137,11 +163,8 @@ func runSimulation(ctx context.Context, req SimulationRequest) (*sim.StatsDump, 
 	reg := metrics.NewRegistry(true)
 	opts := sim.Options{MaxCycles: req.MaxCycles, Metrics: reg}
 
-	if req.App != "" {
-		app, ok := workloads.AppByName(req.App)
-		if !ok {
-			panic("server: job with unknown application " + req.App)
-		}
+	if req.App != "" || req.Gen != nil {
+		app := req.resolveApp()
 		for i := range app.Kernels {
 			if req.Scale > 0 && req.Scale != 1.0 {
 				app.Kernels[i] = app.Kernels[i].Scale(req.Scale)

@@ -15,6 +15,7 @@ import (
 
 	"sttllc/internal/config"
 	"sttllc/internal/workloads"
+	"sttllc/internal/workloads/gen"
 )
 
 // SimulationRequest is the body of POST /v1/simulations.
@@ -23,9 +24,13 @@ type SimulationRequest struct {
 	// C1, C2, C3).
 	Config string `json:"config"`
 	// Bench names one benchmark; App names one multi-kernel
-	// application. Exactly one of the two must be set.
-	Bench string `json:"bench,omitempty"`
-	App   string `json:"app,omitempty"`
+	// application; Trace names an uploaded trace by its content address
+	// (POST /v1/traces); Gen carries an inline parametric workload spec
+	// sampled at run time. Exactly one of the four must be set.
+	Bench string       `json:"bench,omitempty"`
+	App   string       `json:"app,omitempty"`
+	Trace string       `json:"trace,omitempty"`
+	Gen   *gen.AppSpec `json:"gen,omitempty"`
 	// Scale multiplies per-warp instruction counts (0 or 1 = paper
 	// scale).
 	Scale float64 `json:"scale,omitempty"`
@@ -92,9 +97,10 @@ func (r SimulationRequest) normalize() SimulationRequest {
 	if r.Warps < 0 {
 		r.Warps = 0
 	}
-	if r.App != "" {
+	if r.App != "" || r.Gen != nil {
 		// sttsim applies -warmup only to single-benchmark runs; mirror
-		// that so app results stay byte-identical to the CLI's.
+		// that for catalog and generated applications alike, so app
+		// results stay byte-identical to the CLI's.
 		r.Warmup = 0
 	}
 	// Hierarchy and DRAM overrides: spellings of the default collapse to
@@ -187,21 +193,48 @@ func (r SimulationRequest) validate() error {
 		// replay would silently run unadapted, so reject it instead.
 		return fmt.Errorf("replay does not support adaptive reconfiguration")
 	}
+	sources := 0
+	for _, set := range []bool{r.Bench != "", r.App != "", r.Trace != "", r.Gen != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("exactly one of bench, app, trace, or gen is required")
+	}
 	switch {
-	case r.Bench == "" && r.App == "":
-		return fmt.Errorf("one of bench or app is required")
-	case r.Bench != "" && r.App != "":
-		return fmt.Errorf("bench and app are mutually exclusive")
 	case r.Bench != "":
 		if _, ok := workloads.ByName(r.Bench); !ok {
 			return fmt.Errorf("unknown benchmark %q", r.Bench)
 		}
-	default:
+	case r.App != "":
 		if _, ok := workloads.AppByName(r.App); !ok {
 			return fmt.Errorf("unknown application %q", r.App)
 		}
+	case r.Gen != nil:
+		if err := r.Gen.Validate(); err != nil {
+			return fmt.Errorf("invalid generator spec: %w", err)
+		}
+	default: // Trace
+		// Whether the trace exists is server state, checked at submission.
+		// Statically, reject the knobs that have no meaning on a replayed
+		// stream: no SMs run, so execution shaping cannot apply.
+		switch {
+		case r.Scale != 0 && r.Scale != 1:
+			return fmt.Errorf("scale does not apply to trace jobs")
+		case r.Warps != 0:
+			return fmt.Errorf("warps does not apply to trace jobs")
+		case r.Warmup != 0:
+			return fmt.Errorf("warmup does not apply to trace jobs")
+		case r.MaxCycles != 0:
+			return fmt.Errorf("max_cycles does not apply to trace jobs")
+		case r.Replay:
+			return fmt.Errorf("trace jobs are already trace-driven; replay does not apply")
+		case g.Adaptive.Enabled:
+			return fmt.Errorf("trace replay does not support adaptive reconfiguration")
+		}
 	}
-	if r.Replay && r.App != "" {
+	if r.Replay && (r.App != "" || r.Gen != nil) {
 		return fmt.Errorf("replay supports benchmarks only")
 	}
 	if r.Scale < 0 {
@@ -214,6 +247,32 @@ func (r SimulationRequest) validate() error {
 		return fmt.Errorf("timeout_ms must be >= 0")
 	}
 	return nil
+}
+
+// genName labels a generated workload the way gen.AppSpec.App names
+// it: family name (default "gen") plus member index.
+func genName(g *gen.AppSpec) string {
+	name := g.Name
+	if name == "" {
+		name = "gen"
+	}
+	return fmt.Sprintf("%s-%d", name, g.Index)
+}
+
+// workloadLabel names the request's workload source for listings,
+// sweep cells, and error messages.
+func (r SimulationRequest) workloadLabel() string {
+	switch {
+	case r.Bench != "":
+		return r.Bench
+	case r.App != "":
+		return r.App
+	case r.Trace != "":
+		return "trace:" + r.Trace
+	case r.Gen != nil:
+		return genName(r.Gen)
+	}
+	return ""
 }
 
 // Key returns the request's content address: the hex SHA-256 of the

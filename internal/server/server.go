@@ -9,6 +9,8 @@
 //	GET    /v1/simulations/{id}   poll one job (?wait=true blocks)
 //	DELETE /v1/simulations/{id}   cancel a queued or running job
 //	GET    /v1/simulations        list known jobs
+//	POST   /v1/traces             upload an external trace (see traces.go)
+//	GET    /v1/traces[/{id}]      list / inspect uploaded traces
 //	GET    /metrics               Prometheus exposition
 //	GET    /healthz, /readyz      liveness / readiness (503 while draining)
 //
@@ -56,6 +58,10 @@ type Config struct {
 	// StoreBudget bounds the store's payload bytes (0 = 256MB); least
 	// recently used results are evicted beyond it.
 	StoreBudget int64
+	// MaxTraces bounds the uploaded-trace registry (0 = 64); uploads
+	// beyond it are rejected with 429. Traces are never evicted — jobs
+	// reference them by ID, and a vanished trace would strand requests.
+	MaxTraces int
 	// Self and Peers enable the multi-node mode: Self is this node's
 	// advertised base URL (e.g. "http://10.0.0.1:8080"), Peers the other
 	// nodes'. Job ownership is consistent-hashed over Self ∪ Peers; a
@@ -81,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.MaxTraces <= 0 {
+		c.MaxTraces = 64
 	}
 	return c
 }
@@ -123,6 +132,12 @@ type Server struct {
 	running      atomic.Int64
 	drainingFlag atomic.Bool
 
+	// Ingestion: uploaded traces and generated-workload jobs.
+	tracesUploaded atomic.Uint64
+	traceDedup     atomic.Uint64
+	traceJobs      atomic.Uint64
+	genJobs        atomic.Uint64
+
 	sweepsSubmitted atomic.Uint64
 	sweepsCompleted atomic.Uint64
 	sweepsFailed    atomic.Uint64
@@ -140,6 +155,7 @@ type Server struct {
 	sweeps         map[string]*sweep          // live and recent sweeps, by id
 	finishedSweeps []string                   // terminal sweeps, oldest first
 	watch          map[string]map[*sweep]bool // job id → sweeps tracking it
+	traces         map[string]*traceEntry     // uploaded traces, by content address
 }
 
 // New builds a Server and starts its worker pool. Configuration that
@@ -158,6 +174,7 @@ func New(cfg Config) *Server {
 		recordings: sim.NewRecordingCache(cfg.CacheEntries),
 		sweeps:     make(map[string]*sweep),
 		watch:      make(map[string]map[*sweep]bool),
+		traces:     make(map[string]*traceEntry),
 		httpc:      &http.Client{},
 	}
 	if cfg.StoreDir != "" {
@@ -166,6 +183,7 @@ func New(cfg Config) *Server {
 			panic("server: " + err.Error())
 		}
 		s.store = st
+		s.loadTraces()
 	}
 	if len(cfg.Peers) > 0 {
 		if cfg.Self == "" {
@@ -225,6 +243,17 @@ func (s *Server) registerMetrics() {
 	r.RegisterFunc("server.recording_misses_total", func() uint64 {
 		_, misses := s.recordings.Stats()
 		return misses
+	})
+	// Ingestion: uploaded traces, content-address dedup, and the two
+	// new job flavors (trace replays and generated workloads).
+	r.RegisterFunc("server.traces_uploaded_total", s.tracesUploaded.Load)
+	r.RegisterFunc("server.trace_dedup_total", s.traceDedup.Load)
+	r.RegisterFunc("server.trace_jobs_total", s.traceJobs.Load)
+	r.RegisterFunc("server.gen_jobs_total", s.genJobs.Load)
+	r.RegisterFunc("server.traces_registered", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(len(s.traces))
 	})
 	// Sweep fabric: batched grids, their children, and live joins.
 	r.RegisterFunc("server.sweeps_submitted_total", s.sweepsSubmitted.Load)
@@ -289,6 +318,9 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/simulations", s.handleList)
 	mux.HandleFunc("GET /v1/simulations/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/simulations/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
@@ -454,6 +486,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req = req.normalize()
+	if req.Trace != "" {
+		if s.getTrace(req.Trace) == nil {
+			writeError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+			return
+		}
+		// Uploaded trace bytes live on this node, not on the ring: a
+		// forwarded trace job would fail on a peer that never saw the
+		// upload, so trace jobs always execute locally.
+		req.noForward = true
+	}
 	if r.Header.Get(forwardedHeader) != "" {
 		// A peer already routed this job here; execute locally no matter
 		// what the ring says, so forwarding can never loop.

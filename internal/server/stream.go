@@ -42,6 +42,8 @@ type SweepEvent struct {
 	Config string `json:"config,omitempty"`
 	Bench  string `json:"bench,omitempty"`
 	App    string `json:"app,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Gen    string `json:"gen,omitempty"`
 	State  string `json:"state,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"sttllc/internal/sim"
+	"sttllc/internal/workloads/gen"
 )
 
 // maxSweepJobs bounds one sweep's grid; beyond it the request is
@@ -47,10 +48,14 @@ type SweepRequest struct {
 	// configuration name ("C2") or an object carrying hierarchy/DRAM
 	// overrides ({"config":"C2","l3_kb":1536}).
 	Configs []SweepConfig `json:"configs"`
-	// Benches and Apps list the workload axis; at least one of the two
-	// must be non-empty.
-	Benches []string `json:"benches,omitempty"`
-	Apps    []string `json:"apps,omitempty"`
+	// Benches, Apps, Traces, and Gen list the workload axis; at least
+	// one must be non-empty. Traces name uploaded traces by content
+	// address; Gen expands to Count generated family members, each an
+	// independent deterministic draw from the spec.
+	Benches []string        `json:"benches,omitempty"`
+	Apps    []string        `json:"apps,omitempty"`
+	Traces  []string        `json:"traces,omitempty"`
+	Gen     *gen.FamilySpec `json:"gen,omitempty"`
 	// Shared child-job knobs, applied to every cell (same semantics as
 	// the SimulationRequest fields of the same names).
 	Scale     float64 `json:"scale,omitempty"`
@@ -90,10 +95,22 @@ func (c *SweepConfig) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// workloadCells is the size of the workload axis: named benchmarks and
+// applications, uploaded traces, and generated family members.
+func (r SweepRequest) workloadCells() int {
+	n := len(r.Benches) + len(r.Apps) + len(r.Traces)
+	if r.Gen != nil {
+		n += r.Gen.Count
+	}
+	return n
+}
+
 // expand materializes the grid as canonical child requests,
-// configuration-major so the order is deterministic and documented.
+// configuration-major so the order is deterministic and documented;
+// within one configuration the workload order is benches, apps,
+// traces, generated members.
 func (r SweepRequest) expand() []SimulationRequest {
-	out := make([]SimulationRequest, 0, len(r.Configs)*(len(r.Benches)+len(r.Apps)))
+	out := make([]SimulationRequest, 0, len(r.Configs)*r.workloadCells())
 	for _, c := range r.Configs {
 		base := SimulationRequest{
 			Config:       c.Config,
@@ -119,6 +136,19 @@ func (r SweepRequest) expand() []SimulationRequest {
 			cr.App = a
 			out = append(out, cr.normalize())
 		}
+		for _, t := range r.Traces {
+			cr := base
+			cr.Trace = t
+			out = append(out, cr.normalize())
+		}
+		if r.Gen != nil {
+			for i := 0; i < r.Gen.Count; i++ {
+				cr := base
+				member := r.Gen.Member(i)
+				cr.Gen = &member
+				out = append(out, cr.normalize())
+			}
+		}
 	}
 	return out
 }
@@ -131,17 +161,24 @@ func (r SweepRequest) validate() ([]SimulationRequest, error) {
 	if len(r.Configs) == 0 {
 		return nil, fmt.Errorf("configs must name at least one configuration")
 	}
-	if len(r.Benches)+len(r.Apps) == 0 {
-		return nil, fmt.Errorf("at least one of benches or apps is required")
+	if r.Gen != nil {
+		// Family bounds are checked before the grid is sized: Count is
+		// part of the cell arithmetic below.
+		if err := r.Gen.Validate(); err != nil {
+			return nil, fmt.Errorf("invalid generator spec: %w", err)
+		}
 	}
-	if n := len(r.Configs) * (len(r.Benches) + len(r.Apps)); n > maxSweepJobs {
+	if r.workloadCells() == 0 {
+		return nil, fmt.Errorf("at least one of benches, apps, traces, or gen is required")
+	}
+	if n := len(r.Configs) * r.workloadCells(); n > maxSweepJobs {
 		return nil, fmt.Errorf("grid of %d jobs exceeds the per-sweep limit of %d", n, maxSweepJobs)
 	}
 	children := r.expand()
 	seen := make(map[string]int, len(children))
 	for i, cr := range children {
 		if err := cr.validate(); err != nil {
-			return nil, fmt.Errorf("grid cell %d (%s × %s%s): %v", i, cr.Config, cr.Bench, cr.App, err)
+			return nil, fmt.Errorf("grid cell %d (%s × %s): %v", i, cr.Config, cr.workloadLabel(), err)
 		}
 		k := cr.Key()
 		if prev, dup := seen[k]; dup {
@@ -219,6 +256,8 @@ type sweepChild struct {
 	config string
 	bench  string
 	app    string
+	trace  string
+	gen    string // generated member name, e.g. "mix-3"
 	state  jobState
 	cached bool
 	errMsg string
@@ -249,6 +288,8 @@ type SweepJobStatus struct {
 	Config string `json:"config"`
 	Bench  string `json:"bench,omitempty"`
 	App    string `json:"app,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Gen    string `json:"gen,omitempty"`
 	State  string `json:"state"`
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
@@ -273,6 +314,8 @@ func sweepStatusLocked(sw *sweep, withJobs bool) SweepStatus {
 				Config: c.config,
 				Bench:  c.bench,
 				App:    c.app,
+				Trace:  c.trace,
+				Gen:    c.gen,
 				State:  c.state.String(),
 				Cached: c.cached,
 				Error:  c.errMsg,
@@ -295,6 +338,15 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid sweep: %v", err)
 		return
+	}
+	for _, t := range req.Traces {
+		// Registry membership is server state, so it is checked here
+		// rather than in the static validator. Traces are never deleted:
+		// a trace present now is present when the children run.
+		if s.getTrace(t) == nil {
+			writeError(w, http.StatusNotFound, "unknown trace %q", t)
+			return
+		}
 	}
 	id := sweepKey(children)
 	noForward := r.Header.Get(forwardedHeader) != ""
@@ -370,10 +422,15 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.appendSweepEventLocked(sw, SweepEvent{Type: evSweepStarted})
 	for ci, cr := range children {
 		k := cr.Key()
-		if noForward {
+		if noForward || cr.Trace != "" {
+			// Trace children are pinned like direct trace submissions: the
+			// uploaded bytes live on this node, not on the ring.
 			cr.noForward = true
 		}
-		child := &sweepChild{jobID: k, config: cr.Config, bench: cr.Bench, app: cr.App}
+		child := &sweepChild{jobID: k, config: cr.Config, bench: cr.Bench, app: cr.App, trace: cr.Trace}
+		if cr.Gen != nil {
+			child.gen = genName(cr.Gen)
+		}
 		sw.children = append(sw.children, child)
 		sw.byJob[k] = child
 		j, adm := s.admitResolvedLocked(cr, k, resolved[ci])
@@ -404,6 +461,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		ev := SweepEvent{
 			Type: evJobUpdate, JobID: k,
 			Config: child.config, Bench: child.bench, App: child.app,
+			Trace: child.trace, Gen: child.gen,
 			State: child.state.String(), Cached: child.cached,
 			Error: child.errMsg,
 		}
@@ -497,6 +555,7 @@ func (s *Server) sweepJobChangedLocked(j *job) {
 		ev := SweepEvent{
 			Type: evJobUpdate, JobID: j.id,
 			Config: child.config, Bench: child.bench, App: child.app,
+			Trace: child.trace, Gen: child.gen,
 			State: child.state.String(), Error: child.errMsg,
 		}
 		if j.state == jobDone && j.dump != nil {

@@ -117,8 +117,8 @@ type Simulator struct {
 	// adaptive.go); nil unless cfg.Adaptive.Enabled, so static
 	// configurations schedule no epoch events and run unchanged.
 	adapt *adaptiveController
-	mReq   metrics.Counter
-	mLat   *metrics.Histogram
+	mReq  metrics.Counter
+	mLat  *metrics.Histogram
 	// Engine lifetime totals, accumulated across drive calls (RunApp
 	// drives once per kernel).
 	engSched uint64

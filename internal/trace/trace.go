@@ -127,6 +127,36 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
+// Limits bounds the values a decoded stream may carry. Zero fields
+// disable the corresponding check. A bare v1 trace carries no metadata
+// to validate against, so these are the reader-side sanity pass that
+// the v2 recording gets from its metadata block: a stream whose
+// addresses wander outside the configured space or whose cycles exceed
+// a stated end is rejected at the offending record instead of surfacing
+// as a bogus replay divergence downstream.
+type Limits struct {
+	// MaxAddr rejects records whose address is >= MaxAddr (0 = no
+	// bound). DefaultLimits sets it above every address segment the
+	// synthetic workloads emit.
+	MaxAddr uint64
+	// MaxCycle rejects records whose cycle exceeds MaxCycle (0 = no
+	// bound).
+	MaxCycle int64
+	// MaxSM rejects records whose SM id is >= MaxSM (0 = no bound).
+	// Replaying a record with an out-of-range SM id panics in the
+	// interconnect, so importers set this to the target's SM count.
+	MaxSM int
+}
+
+// DefaultLimits is the bounds pass applied to v1 streams that do not
+// configure their own: addresses must fit the simulator's physical
+// space. The synthetic address map tops out at the texture segment base
+// (3<<40) plus a footprint; 1<<52 leaves every legitimate stream
+// untouched while catching framing slips that decode garbage addresses.
+func DefaultLimits() Limits {
+	return Limits{MaxAddr: 1 << 52}
+}
+
 // Reader decodes a trace stream, either format version. Metadata from a
 // version-2 recording stream is available through Meta.
 type Reader struct {
@@ -135,12 +165,18 @@ type Reader struct {
 	index     uint64
 	headerOK  bool
 	meta      *Recording // non-nil after the header of a v2 stream
+	limits    Limits
 }
 
-// NewReader reads a trace stream from r.
+// NewReader reads a trace stream from r, validating records against
+// DefaultLimits. Use SetLimits to tighten or disable the bounds.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r)}
+	return &Reader{r: bufio.NewReader(r), limits: DefaultLimits()}
 }
+
+// SetLimits replaces the reader's validation bounds. It must be called
+// before the first Next. A zero Limits disables bounds checking.
+func (r *Reader) SetLimits(l Limits) { r.limits = l }
 
 func (r *Reader) readHeader() error {
 	if r.headerOK {
@@ -217,6 +253,15 @@ func (r *Reader) Next() (Record, error) {
 	}
 	if extra := flags &^ flagWrite; extra != 0 {
 		return Record{}, r.corrupt(fmt.Errorf("unknown flag bits %#02x", extra))
+	}
+	if r.limits.MaxAddr != 0 && addr >= r.limits.MaxAddr {
+		return Record{}, r.corrupt(fmt.Errorf("address %#x outside configured space (max %#x)", addr, r.limits.MaxAddr))
+	}
+	if r.limits.MaxSM != 0 && int(sm) >= r.limits.MaxSM {
+		return Record{}, r.corrupt(fmt.Errorf("SM id %d out of range (max %d)", sm, r.limits.MaxSM-1))
+	}
+	if r.limits.MaxCycle != 0 && r.lastCycle+int64(delta) > r.limits.MaxCycle {
+		return Record{}, r.corrupt(fmt.Errorf("cycle %d beyond configured end %d", r.lastCycle+int64(delta), r.limits.MaxCycle))
 	}
 	r.lastCycle += int64(delta)
 	r.index++

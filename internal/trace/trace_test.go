@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -169,6 +170,102 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestReaderLimits is the table-driven bounds/sanity pass for v1
+// streams: each case encodes a well-framed stream whose values violate
+// one configured bound and asserts the reader fails at the offending
+// record index with a *RecordError.
+func TestReaderLimits(t *testing.T) {
+	encode := func(recs []Record) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Append(r); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		w.Flush()
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name      string
+		limits    Limits
+		recs      []Record
+		wantIndex uint64 // offending record, when wantErr
+		wantErr   bool
+	}{
+		{
+			name:   "within default bounds",
+			limits: DefaultLimits(),
+			recs:   []Record{{Cycle: 0, Addr: 3<<40 + 4096, SM: 14}, {Cycle: 9, Addr: 0x1000}},
+		},
+		{
+			name:      "address outside default space",
+			limits:    DefaultLimits(),
+			recs:      []Record{{Cycle: 0, Addr: 0x100}, {Cycle: 1, Addr: 1 << 52}},
+			wantIndex: 1,
+			wantErr:   true,
+		},
+		{
+			name:      "address outside tight bound",
+			limits:    Limits{MaxAddr: 0x1000},
+			recs:      []Record{{Cycle: 0, Addr: 0xFFF}, {Cycle: 0, Addr: 0x1000}},
+			wantIndex: 1,
+			wantErr:   true,
+		},
+		{
+			name:      "SM beyond configured count",
+			limits:    Limits{MaxSM: 15},
+			recs:      []Record{{Cycle: 0, SM: 14}, {Cycle: 2, SM: 15}},
+			wantIndex: 1,
+			wantErr:   true,
+		},
+		{
+			name:      "cycle beyond configured end",
+			limits:    Limits{MaxCycle: 100},
+			recs:      []Record{{Cycle: 100}, {Cycle: 101}},
+			wantIndex: 1,
+			wantErr:   true,
+		},
+		{
+			name:      "first record already out of bounds",
+			limits:    Limits{MaxAddr: 1},
+			recs:      []Record{{Cycle: 0, Addr: 7}},
+			wantIndex: 0,
+			wantErr:   true,
+		},
+		{
+			name:   "zero limits disable all checks",
+			limits: Limits{},
+			recs:   []Record{{Cycle: 0, Addr: math.MaxUint64, SM: 255}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(encode(tc.recs)))
+			r.SetLimits(tc.limits)
+			var err error
+			for range tc.recs {
+				if _, err = r.Next(); err != nil {
+					break
+				}
+			}
+			if !tc.wantErr {
+				if err != nil {
+					t.Fatalf("valid stream rejected: %v", err)
+				}
+				return
+			}
+			var re *RecordError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v, want *RecordError", err)
+			}
+			if re.Index != tc.wantIndex {
+				t.Errorf("offending index = %d, want %d", re.Index, tc.wantIndex)
+			}
+		})
 	}
 }
 

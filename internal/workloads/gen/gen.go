@@ -1,0 +1,501 @@
+// Package gen is the parametric workload generator: it samples
+// first-class workloads.App values from declarative distributions over
+// the memory-behaviour axes the paper characterizes — write fraction,
+// write-working-set size (or, equivalently, rewrite interval), phase
+// mixture, and working-set geometry. Sampling is fully deterministic: a
+// (seed, index) pair plus a spec always produces the same App, so
+// generated workloads are content-addressable (workloads.App.Hash) and
+// cache/replay exactly like the builtin catalog.
+//
+// Specs are declarative JSON, so they travel through the service API
+// and sweep grids:
+//
+//	{"name":"mix","seed":7,"write_frac":{"min":0.05,"max":0.5},
+//	 "wws_kb":{"choices":[32,128,512]},"kernels":{"fixed":2}}
+//
+// Every distribution is optional; unset axes fall back to defaults
+// calibrated to the builtin suite's ranges, so the zero AppSpec is
+// already a valid "random benchmark-like workload" generator.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"sttllc/internal/config"
+	"sttllc/internal/workloads"
+)
+
+// Dist declares one scalar distribution. Exactly one of the three
+// shapes may be set:
+//
+//   - {"fixed": v} — the constant v.
+//   - {"min": a, "max": b} — uniform on [a, b]; {"min":a,"max":b,"log":true}
+//     samples log-uniformly (decades equally likely), the natural shape
+//     for sizes.
+//   - {"choices": [...], "weights": [...]} — discrete; weights optional
+//     (default equal), must match choices in length.
+//
+// The zero Dist means "unset": the sampled field uses its default.
+type Dist struct {
+	Fixed   *float64  `json:"fixed,omitempty"`
+	Min     float64   `json:"min,omitempty"`
+	Max     float64   `json:"max,omitempty"`
+	Log     bool      `json:"log,omitempty"`
+	Choices []float64 `json:"choices,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// IsZero reports an unset distribution.
+func (d Dist) IsZero() bool {
+	return d.Fixed == nil && d.Min == 0 && d.Max == 0 && !d.Log &&
+		len(d.Choices) == 0 && len(d.Weights) == 0
+}
+
+// fixed is the Dist literal for a constant.
+func fixed(v float64) Dist { return Dist{Fixed: &v} }
+
+// uniform is the Dist literal for a uniform range.
+func uniform(min, max float64) Dist { return Dist{Min: min, Max: max} }
+
+// logUniform is the Dist literal for a log-uniform range.
+func logUniform(min, max float64) Dist { return Dist{Min: min, Max: max, Log: true} }
+
+// validate checks a set distribution's internal coherence. name labels
+// the field in errors.
+func (d Dist) validate(name string) error {
+	if d.IsZero() {
+		return nil
+	}
+	set := 0
+	if d.Fixed != nil {
+		set++
+	}
+	if d.Min != 0 || d.Max != 0 {
+		set++
+	}
+	if len(d.Choices) > 0 {
+		set++
+	}
+	if set > 1 {
+		return fmt.Errorf("gen: %s: fixed, min/max, and choices are mutually exclusive", name)
+	}
+	switch {
+	case d.Fixed != nil:
+		if d.Log {
+			return fmt.Errorf("gen: %s: log does not apply to fixed", name)
+		}
+	case len(d.Choices) > 0:
+		if d.Log {
+			return fmt.Errorf("gen: %s: log does not apply to choices", name)
+		}
+		if len(d.Weights) != 0 && len(d.Weights) != len(d.Choices) {
+			return fmt.Errorf("gen: %s: %d weights for %d choices", name, len(d.Weights), len(d.Choices))
+		}
+		total := 0.0
+		for _, w := range d.Weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("gen: %s: negative or non-finite weight %v", name, w)
+			}
+			total += w
+		}
+		if len(d.Weights) != 0 && total == 0 {
+			return fmt.Errorf("gen: %s: weights sum to zero", name)
+		}
+	default:
+		if len(d.Weights) != 0 {
+			return fmt.Errorf("gen: %s: weights without choices", name)
+		}
+		if d.Min > d.Max {
+			return fmt.Errorf("gen: %s: min %v > max %v", name, d.Min, d.Max)
+		}
+		if d.Log && d.Min <= 0 {
+			return fmt.Errorf("gen: %s: log sampling needs min > 0", name)
+		}
+	}
+	return nil
+}
+
+// sample draws one value. d must have passed validate; def supplies the
+// distribution when d is unset.
+func (d Dist) sample(rng *xorshift, def Dist) float64 {
+	if d.IsZero() {
+		d = def
+	}
+	switch {
+	case d.Fixed != nil:
+		return *d.Fixed
+	case len(d.Choices) > 0:
+		if len(d.Weights) == 0 {
+			return d.Choices[rng.intn(len(d.Choices))]
+		}
+		total := 0.0
+		for _, w := range d.Weights {
+			total += w
+		}
+		x := rng.float() * total
+		for i, w := range d.Weights {
+			if x < w || i == len(d.Choices)-1 {
+				return d.Choices[i]
+			}
+			x -= w
+		}
+		return d.Choices[len(d.Choices)-1]
+	default:
+		if d.Min == d.Max {
+			return d.Min
+		}
+		if d.Log {
+			return math.Exp(math.Log(d.Min) + rng.float()*(math.Log(d.Max)-math.Log(d.Min)))
+		}
+		return d.Min + rng.float()*(d.Max-d.Min)
+	}
+}
+
+// AppSpec declares the distribution family one application is drawn
+// from. All distributions are optional.
+type AppSpec struct {
+	// Name labels generated workloads (default "gen"); Index
+	// distinguishes family members — the sampling stream is seeded from
+	// (Seed, Index), so each index is an independent draw and the same
+	// pair always reproduces the same App.
+	Name  string `json:"name,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	Index int    `json:"index,omitempty"`
+
+	// Phase mixture: Kernels draws the number of sequential kernel
+	// launches (1..MaxKernels); ChainFrac is the probability each
+	// successive kernel consumes its predecessor's output (its read
+	// footprint aliases the producer's write working set), the
+	// producer-consumer structure of the builtin apps.
+	Kernels   Dist `json:"kernels,omitempty"`
+	ChainFrac Dist `json:"chain_frac,omitempty"`
+
+	// Instruction mix.
+	MemFrac   Dist `json:"mem_frac,omitempty"`
+	WriteFrac Dist `json:"write_frac,omitempty"`
+	LocalFrac Dist `json:"local_frac,omitempty"`
+	ConstFrac Dist `json:"const_frac,omitempty"`
+	TexFrac   Dist `json:"tex_frac,omitempty"`
+
+	// Working-set geometry, in KB.
+	FootprintKB Dist `json:"footprint_kb,omitempty"`
+	WWSKB       Dist `json:"wws_kb,omitempty"`
+	// RewriteIntervalUS, when set, replaces WWSKB: the write working
+	// set is sized so a uniformly rewritten line's expected rewrite
+	// interval is the sampled number of microseconds at nominal issue
+	// rate (1 instr/cycle/SM at the base clock). This is the axis the
+	// paper's retention analysis is parameterized by — §III sizes
+	// retention against the inter-write gap — exposed directly.
+	RewriteIntervalUS Dist `json:"rewrite_interval_us,omitempty"`
+	WriteHotFrac      Dist `json:"write_hot_frac,omitempty"`
+	StreamFrac        Dist `json:"stream_frac,omitempty"`
+	RereadFrac        Dist `json:"reread_frac,omitempty"`
+
+	// Parallelism shape. BlockWarps is the thread-block size in warps
+	// (ThreadsPerBlock = 32 × BlockWarps, keeping every draw a legal
+	// block size).
+	RegsPerThread Dist `json:"regs_per_thread,omitempty"`
+	BlockWarps    Dist `json:"block_warps,omitempty"`
+	WarpsPerSM    Dist `json:"warps_per_sm,omitempty"`
+	InstrPerWarp  Dist `json:"instr_per_warp,omitempty"`
+	Grids         Dist `json:"grids,omitempty"`
+	EndWriteBurst Dist `json:"end_write_burst,omitempty"`
+}
+
+// MaxKernels bounds the phase-mixture draw: more sequential kernels
+// than this is a spec error, not a workload.
+const MaxKernels = 8
+
+// defaults are the unset-axis distributions, calibrated to the builtin
+// suite's ranges (workloads.All spans exactly these).
+var defaults = struct {
+	kernels, chainFrac, memFrac, writeFrac, localFrac, constFrac, texFrac,
+	footprintKB, wwsKB, writeHotFrac, streamFrac, rereadFrac,
+	regsPerThread, blockWarps, warpsPerSM, instrPerWarp, grids, endWriteBurst Dist
+}{
+	kernels:       fixed(2),
+	chainFrac:     fixed(0.5),
+	memFrac:       uniform(0.10, 0.30),
+	writeFrac:     uniform(0.03, 0.50),
+	localFrac:     uniform(0.02, 0.10),
+	constFrac:     uniform(0.03, 0.06),
+	texFrac:       uniform(0, 0.12),
+	footprintKB:   logUniform(192, 8192),
+	wwsKB:         logUniform(32, 512),
+	writeHotFrac:  uniform(0.05, 0.90),
+	streamFrac:    uniform(0.20, 0.90),
+	rereadFrac:    uniform(0.05, 0.45),
+	regsPerThread: uniform(20, 63),
+	blockWarps:    uniform(4, 16),
+	warpsPerSM:    fixed(32),
+	instrPerWarp:  fixed(2400),
+	grids:         uniform(1, 3),
+	endWriteBurst: uniform(0.1, 0.4),
+}
+
+// Validate checks every declared distribution.
+func (s AppSpec) Validate() error {
+	if s.Index < 0 {
+		return fmt.Errorf("gen: negative index %d", s.Index)
+	}
+	for _, f := range []struct {
+		name string
+		d    Dist
+	}{
+		{"kernels", s.Kernels}, {"chain_frac", s.ChainFrac},
+		{"mem_frac", s.MemFrac}, {"write_frac", s.WriteFrac},
+		{"local_frac", s.LocalFrac}, {"const_frac", s.ConstFrac}, {"tex_frac", s.TexFrac},
+		{"footprint_kb", s.FootprintKB}, {"wws_kb", s.WWSKB},
+		{"rewrite_interval_us", s.RewriteIntervalUS},
+		{"write_hot_frac", s.WriteHotFrac}, {"stream_frac", s.StreamFrac}, {"reread_frac", s.RereadFrac},
+		{"regs_per_thread", s.RegsPerThread}, {"block_warps", s.BlockWarps},
+		{"warps_per_sm", s.WarpsPerSM}, {"instr_per_warp", s.InstrPerWarp},
+		{"grids", s.Grids}, {"end_write_burst", s.EndWriteBurst},
+	} {
+		if err := f.d.validate(f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lineBytes mirrors the workloads generation granularity (Table 2: 128B
+// L1 lines); sizes snap to it.
+const lineBytes = 128
+
+// App samples the application. The draw is a pure function of the spec:
+// the same AppSpec (including Seed and Index) always returns the same
+// App, byte for byte.
+func (s AppSpec) App() (workloads.App, error) {
+	if err := s.Validate(); err != nil {
+		return workloads.App{}, err
+	}
+	name := s.Name
+	if name == "" {
+		name = "gen"
+	}
+	// splitmix-style seeding decorrelates (Seed, Index) pairs even for
+	// adjacent indices.
+	rng := newXorshift(mix(mix(s.Seed+0x9E3779B97F4A7C15) + uint64(s.Index)))
+	nk := clampInt(int(s.Kernels.sample(rng, defaults.kernels)), 1, MaxKernels)
+	var kernels []workloads.Spec
+	for k := 0; k < nk; k++ {
+		sp, err := s.sampleKernel(rng, fmt.Sprintf("%s-%d-k%d", name, s.Index, k))
+		if err != nil {
+			return workloads.App{}, err
+		}
+		if k > 0 && rng.float() < s.ChainFrac.sample(rng, defaults.chainFrac) {
+			// Producer→consumer: alias this kernel's read footprint onto
+			// the previous kernel's output region, exactly as the builtin
+			// apps do.
+			p := kernels[k-1]
+			sp.FootprintBytes = p.FootprintBytes + uint64(p.Grids)*p.WWSBytes
+		}
+		kernels = append(kernels, sp)
+	}
+	return workloads.App{
+		Name:        fmt.Sprintf("%s-%d", name, s.Index),
+		Description: fmt.Sprintf("generated family %q member %d (seed %d)", name, s.Index, s.Seed),
+		Kernels:     kernels,
+	}, nil
+}
+
+// sampleKernel draws one kernel spec. Sampling order is fixed — it is
+// part of the generator's determinism contract.
+func (s AppSpec) sampleKernel(rng *xorshift, name string) (workloads.Spec, error) {
+	sp := workloads.Spec{Name: name}
+	sp.MemFrac = clamp01(s.MemFrac.sample(rng, defaults.memFrac))
+	sp.WriteFrac = clamp01(s.WriteFrac.sample(rng, defaults.writeFrac))
+	sp.LocalFrac = clamp01(s.LocalFrac.sample(rng, defaults.localFrac))
+	sp.ConstFrac = clamp01(s.ConstFrac.sample(rng, defaults.constFrac))
+	sp.TexFrac = clamp01(s.TexFrac.sample(rng, defaults.texFrac))
+	// The space fractions partition the memory ops; rescale an
+	// overcommitted draw so local+const+tex ≤ 0.9 and some global
+	// traffic always remains.
+	if sum := sp.LocalFrac + sp.ConstFrac + sp.TexFrac; sum > 0.9 {
+		f := 0.9 / sum
+		sp.LocalFrac *= f
+		sp.ConstFrac *= f
+		sp.TexFrac *= f
+	}
+
+	sp.FootprintBytes = snapBytes(s.FootprintKB.sample(rng, defaults.footprintKB) * 1024)
+	sp.WriteHotFrac = clamp01(s.WriteHotFrac.sample(rng, defaults.writeHotFrac))
+	sp.StreamFrac = clamp01(s.StreamFrac.sample(rng, defaults.streamFrac))
+	sp.RereadFrac = clamp01(s.RereadFrac.sample(rng, defaults.rereadFrac))
+	if sum := sp.StreamFrac + sp.RereadFrac; sum > 1 {
+		f := 1 / sum
+		sp.StreamFrac *= f
+		sp.RereadFrac *= f
+	}
+
+	sp.RegsPerThread = clampInt(int(s.RegsPerThread.sample(rng, defaults.regsPerThread)), 16, 64)
+	sp.ThreadsPerBlock = 32 * clampInt(int(s.BlockWarps.sample(rng, defaults.blockWarps)), 1, 32)
+	sp.WarpsPerSM = clampInt(int(s.WarpsPerSM.sample(rng, defaults.warpsPerSM)), 1, 64)
+	sp.InstrPerWarp = clampInt(int(s.InstrPerWarp.sample(rng, defaults.instrPerWarp)), 64, 1<<20)
+	sp.Grids = clampInt(int(s.Grids.sample(rng, defaults.grids)), 1, 8)
+	sp.EndWriteBurst = clamp01(s.EndWriteBurst.sample(rng, defaults.endWriteBurst))
+
+	// The write working set: either drawn directly, or back-solved from
+	// a target rewrite interval. The draw is consumed unconditionally so
+	// setting rewrite_interval_us does not shift later fields' samples
+	// relative to a WWSKB spec with the same seed.
+	wwsBytes := snapBytes(s.WWSKB.sample(rng, defaults.wwsKB) * 1024)
+	if !s.RewriteIntervalUS.IsZero() {
+		us := s.RewriteIntervalUS.sample(rng, Dist{})
+		wwsBytes = wwsForRewriteInterval(us, sp)
+	}
+	sp.WWSBytes = wwsBytes
+
+	// Region is descriptive (Fig. 8 grouping), derived from the sampled
+	// geometry the way the suite's hand labels correlate with it.
+	switch {
+	case sp.FootprintBytes > config.BaseL2Bytes*2 && sp.RegsPerThread >= 40:
+		sp.Region = workloads.RegionBoth
+	case sp.RegsPerThread >= 40:
+		sp.Region = workloads.RegionRegisterBound
+	case sp.FootprintBytes > config.BaseL2Bytes*2:
+		sp.Region = workloads.RegionCacheBound
+	default:
+		sp.Region = workloads.RegionInsensitive
+	}
+	sp.Description = "generated"
+	sp.Seed = rng.next()
+	if err := sp.Validate(); err != nil {
+		// The clamps above are supposed to make every draw legal.
+		return workloads.Spec{}, fmt.Errorf("gen: sampled spec invalid: %w", err)
+	}
+	return sp, nil
+}
+
+// wwsForRewriteInterval sizes a write working set so that, at nominal
+// issue rate (1 instr/cycle/SM at the base clock across BaseSMs), a
+// uniformly rewritten line's expected rewrite interval is us
+// microseconds: lines = global-store rate × interval. First-order — it
+// ignores stalls (real IPC < 1 stretches the interval) and write skew
+// (hot lines rewrite sooner) — but it makes "retention-scale" workload
+// families expressible declaratively.
+func wwsForRewriteInterval(us float64, sp workloads.Spec) uint64 {
+	globalFrac := 1 - sp.LocalFrac - sp.ConstFrac - sp.TexFrac
+	storesPerSec := config.BaseClockHz * float64(config.BaseSMs) * sp.MemFrac * globalFrac * sp.WriteFrac
+	lines := storesPerSec * us * 1e-6
+	return snapBytes(lines * lineBytes)
+}
+
+// snapBytes rounds a byte count to whole lines within [1 line, 64MB].
+func snapBytes(b float64) uint64 {
+	if math.IsNaN(b) || b < lineBytes {
+		return lineBytes
+	}
+	if b > 64<<20 {
+		return 64 << 20
+	}
+	return uint64(b/lineBytes) * lineBytes
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FamilySpec draws Count sibling applications from one AppSpec: member
+// i is the template with Index = base+i. Families are how sweeps and
+// fuzzing widen coverage — every member is an independent, reproducible
+// draw from the same distributions.
+type FamilySpec struct {
+	AppSpec
+	Count int `json:"count"`
+}
+
+// MaxFamily bounds a family draw.
+const MaxFamily = 1024
+
+// Validate extends AppSpec.Validate with the family bounds.
+func (f FamilySpec) Validate() error {
+	if f.Count < 1 || f.Count > MaxFamily {
+		return fmt.Errorf("gen: family count %d outside 1..%d", f.Count, MaxFamily)
+	}
+	return f.AppSpec.Validate()
+}
+
+// Apps draws the whole family.
+func (f FamilySpec) Apps() ([]workloads.App, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	apps := make([]workloads.App, f.Count)
+	for i := range apps {
+		s := f.AppSpec
+		s.Index += i
+		a, err := s.App()
+		if err != nil {
+			return nil, err
+		}
+		apps[i] = a
+	}
+	return apps, nil
+}
+
+// Member returns the single family member at offset i (the AppSpec with
+// Index shifted by i) — the per-cell form sweep grids expand to.
+func (f FamilySpec) Member(i int) AppSpec {
+	s := f.AppSpec
+	s.Index += i
+	return s
+}
+
+// xorshift is the same xorshift64* PRNG the workloads package generates
+// streams with; gen keeps its own copy so sampling stays frozen even if
+// the stream generator ever changes.
+type xorshift uint64
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x2545F4914F6CDD1D
+	}
+	x := xorshift(seed)
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v >> 12
+	v ^= v << 25
+	v ^= v >> 27
+	*x = xorshift(v)
+	return v * 0x2545F4914F6CDD1D
+}
+
+func (x *xorshift) float() float64 {
+	return float64(x.next()>>11) * (1.0 / float64(1<<53))
+}
+
+func (x *xorshift) intn(n int) int {
+	return int(x.next() % uint64(n))
+}
+
+// mix is the splitmix64 finalizer.
+func mix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

@@ -37,6 +37,29 @@ func TestSpecHashCoversStreamShapingFields(t *testing.T) {
 	}
 }
 
+// TestContentHashDomainSeparation pins the collision-proofing contract:
+// the same payload hashed under different format tags yields different
+// addresses, so a user-supplied value named like a builtin can never
+// alias its cache key.
+func TestContentHashDomainSeparation(t *testing.T) {
+	s, _ := ByName("bfs")
+	if ContentHash("workloads.Spec/v1", s) == ContentHash("sttllc-trace/v1", s) {
+		t.Error("identical payloads under different tags share a hash")
+	}
+	if ContentHash("workloads.Spec/v1", s) != s.Hash() {
+		t.Error("Spec.Hash does not use the tagged scheme")
+	}
+	// A Spec and an App wrapping it must not collide either: the tag
+	// separates them even if their JSON encodings ever coincided.
+	a := App{Name: s.Name, Kernels: []Spec{s}}
+	if s.Hash() == a.Hash() {
+		t.Error("Spec and App hashes collide")
+	}
+	if len(ContentHash("x/v1", 42)) != 32 {
+		t.Error("tagged hash is not 32 hex chars")
+	}
+}
+
 func TestSuiteHashesDistinct(t *testing.T) {
 	seen := map[string]string{}
 	for _, s := range All() {
